@@ -1,0 +1,64 @@
+"""E0 — saving factors (Definitions 1-3) and the paper's worked examples.
+
+Benchmarks the TSF computation (the per-step scheduling cost of the
+dynamic search); ``python benchmarks/bench_e0_savings.py`` prints the
+full E0 table.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import e0_savings
+from repro.core.savings import (
+    TSFInputs,
+    downward_saving_factor,
+    total_saving_factor,
+    upward_saving_factor,
+    workload_above,
+    workload_below,
+)
+
+
+def test_benchmark_tsf_evaluation(benchmark):
+    """Time one full TSF sweep over every level of a d=16 space — the
+    exact computation `_select_level` performs per search step."""
+    d = 16
+
+    def sweep() -> float:
+        total = 0.0
+        for m in range(1, d + 1):
+            total += total_saving_factor(
+                TSFInputs(
+                    m=m,
+                    d=d,
+                    p_up=0.4,
+                    p_down=0.6,
+                    remaining_below=workload_below(m, d),
+                    remaining_above=workload_above(m, d),
+                )
+            )
+        return total
+
+    result = benchmark(sweep)
+    assert result > 0
+
+
+def test_benchmark_saving_factor_tables(benchmark):
+    """Time the (cached) DSF/USF lookups across a realistic level range."""
+
+    def lookups():
+        return sum(
+            downward_saving_factor(m) + upward_saving_factor(m, 18)
+            for m in range(1, 19)
+        )
+
+    assert benchmark(lookups) > 0
+
+
+def main() -> None:
+    experiment = e0_savings()
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""E10 — search-order ablation (what TSF and learning each contribute).
+
+Times one query under each strategy (exhaustive / fixed sweeps / TSF
+variants); ``python benchmarks/bench_e10_ablation_order.py [--full]``
+regenerates the E10 table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.baselines.naive_search import fixed_order_search
+from repro.bench.experiments import e10_ablation
+from repro.core.od import ODEvaluator
+from repro.core.priors import PruningPriors
+from repro.core.search import DynamicSubspaceSearch
+
+
+def _evaluator(miner, workload, row):
+    return ODEvaluator(miner.backend_, workload.dataset.X[row], 5, exclude=row)
+
+
+@pytest.mark.parametrize("order", ["bottom_up", "top_down"])
+def test_benchmark_fixed_sweeps(benchmark, miner_d10, workload_d10, order):
+    row = workload_d10.dataset.outlier_rows[0]
+
+    def run():
+        return fixed_order_search(
+            _evaluator(miner_d10, workload_d10, row), miner_d10.threshold_, order
+        )
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.is_outlier_anywhere()
+
+
+@pytest.mark.parametrize("adaptive", [False, True], ids=["learned", "adaptive"])
+def test_benchmark_tsf_variants(benchmark, miner_d10, workload_d10, adaptive):
+    row = workload_d10.dataset.outlier_rows[0]
+
+    def run():
+        return DynamicSubspaceSearch(
+            _evaluator(miner_d10, workload_d10, row),
+            miner_d10.threshold_,
+            miner_d10.priors_,
+            adaptive=adaptive,
+        ).run()
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.is_outlier_anywhere()
+
+
+def test_benchmark_tsf_uniform_inlier(benchmark, miner_d10, workload_d10):
+    """The inlier fast path: uniform priors decide a clean point in one
+    full-space evaluation plus a global downward prune."""
+    row = workload_d10.inlier_queries[0]
+
+    def run():
+        return DynamicSubspaceSearch(
+            _evaluator(miner_d10, workload_d10, row),
+            miner_d10.threshold_,
+            PruningPriors.uniform(10),
+        ).run()
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not outcome.is_outlier_anywhere()
+
+
+def main() -> None:
+    experiment = e10_ablation(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

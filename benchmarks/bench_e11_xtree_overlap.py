@@ -1,0 +1,36 @@
+"""E11 — X-tree max_overlap ablation (design-choice study).
+
+Times X-tree construction at the ablation's extreme settings; ``python
+benchmarks/bench_e11_xtree_overlap.py [--full]`` regenerates the E11
+table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.experiments import e11_xtree_overlap
+from repro.index.xtree import XTree
+
+
+@pytest.mark.parametrize("max_overlap", [0.0, 0.2, 1.0])
+def test_benchmark_xtree_build_by_overlap(benchmark, uniform_16d, max_overlap):
+    X = uniform_16d[:1000]
+    tree = benchmark.pedantic(
+        lambda: XTree(X, max_entries=8, max_overlap=max_overlap),
+        rounds=2,
+        iterations=1,
+    )
+    assert tree.size == 1000
+
+
+def main() -> None:
+    experiment = e11_xtree_overlap(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""E1 — efficiency vs dataset size n (HOS-Miner vs exhaustive search).
+
+The pytest-benchmark entry times one full HOS-Miner query (the paper's
+headline operation) on the standard workload; ``python
+benchmarks/bench_e1_scalability_n.py [--full]`` regenerates the E1 table
+(full grid: n up to 8000).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.naive_search import exhaustive_search
+from repro.bench.experiments import e1_scalability_n
+from repro.core.od import ODEvaluator
+
+
+def test_benchmark_hos_query(benchmark, miner_d10, workload_d10):
+    """One paper-faithful HOS-Miner query on a planted outlier."""
+    row = workload_d10.dataset.outlier_rows[0]
+    outcome = benchmark.pedantic(
+        lambda: miner_d10.search_outcome(row)[0], rounds=5, iterations=1
+    )
+    assert outcome.is_outlier_anywhere()
+
+
+def test_benchmark_adaptive_query(benchmark, adaptive_miner_d10, workload_d10):
+    """The same query under the adaptive-prior extension."""
+    row = workload_d10.dataset.outlier_rows[0]
+    outcome = benchmark.pedantic(
+        lambda: adaptive_miner_d10.search_outcome(row)[0], rounds=5, iterations=1
+    )
+    assert outcome.is_outlier_anywhere()
+
+
+def test_benchmark_exhaustive_query(benchmark, miner_d10, workload_d10):
+    """The exhaustive oracle on the identical query — the cost ceiling."""
+    row = workload_d10.dataset.outlier_rows[0]
+    X = workload_d10.dataset.X
+
+    def run():
+        evaluator = ODEvaluator(miner_d10.backend_, X[row], 5, exclude=row)
+        return exhaustive_search(evaluator, miner_d10.threshold_)
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.stats.od_evaluations == 1023
+
+
+def main() -> None:
+    experiment = e1_scalability_n(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

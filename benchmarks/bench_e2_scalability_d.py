@@ -1,0 +1,51 @@
+"""E2 — efficiency vs dimensionality d.
+
+Times the lattice bookkeeping that dominates the search's non-kNN cost
+at growing d; ``python benchmarks/bench_e2_scalability_d.py [--full]``
+regenerates the E2 table (full grid: d up to 14).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import e2_scalability_d
+from repro.core.lattice import SubspaceLattice
+
+
+def test_benchmark_lattice_construction_d14(benchmark):
+    lattice = benchmark(lambda: SubspaceLattice(14))
+    assert lattice.remaining_count(7) == 3432
+
+
+def test_benchmark_upward_prune_cascade_d12(benchmark):
+    """Worst-case upward prune: a singleton wipes out half the lattice."""
+
+    def cascade() -> int:
+        lattice = SubspaceLattice(12)
+        lattice.mark_evaluated(0b1, outlying=True)
+        return lattice.prune_supersets(0b1)
+
+    assert benchmark(cascade) == 2**11 - 1
+
+
+def test_benchmark_downward_prune_cascade_d12(benchmark):
+    """Worst-case downward prune: the full space wipes out everything."""
+
+    def cascade() -> int:
+        lattice = SubspaceLattice(12)
+        top = (1 << 12) - 1
+        lattice.mark_evaluated(top, outlying=False)
+        return lattice.prune_subsets(top)
+
+    assert benchmark(cascade) == 2**12 - 2
+
+
+def main() -> None:
+    experiment = e2_scalability_d(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

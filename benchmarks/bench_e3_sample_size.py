@@ -1,0 +1,36 @@
+"""E3 — effect of the learning sample size S.
+
+Times one learning pass (S sample searches with uniform priors);
+``python benchmarks/bench_e3_sample_size.py [--full]`` regenerates the
+E3 table (full grid: S up to 40).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import e3_sample_size
+from repro.core.learning import learn_priors
+
+
+def test_benchmark_learning_pass(benchmark, miner_d10, workload_d10):
+    """The Section 3.2 learning pass with S=5 on the standard workload."""
+    X = workload_d10.dataset.X
+
+    def learn():
+        return learn_priors(
+            miner_d10.backend_, X, 5, miner_d10.threshold_, sample_size=5, seed=3
+        )
+
+    report = benchmark.pedantic(learn, rounds=3, iterations=1)
+    assert len(report.sample_rows) == 5
+
+
+def main() -> None:
+    experiment = e3_sample_size(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

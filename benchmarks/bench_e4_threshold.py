@@ -1,0 +1,35 @@
+"""E4 — effect of the distance threshold T.
+
+Times threshold calibration (the quantile scan of full-space ODs);
+``python benchmarks/bench_e4_threshold.py [--full]`` regenerates the E4
+table (full grid: five quantiles).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import e4_threshold
+from repro.core.miner import calibrate_threshold
+
+
+def test_benchmark_threshold_calibration(benchmark, miner_d10, workload_d10):
+    X = workload_d10.dataset.X
+
+    def calibrate():
+        return calibrate_threshold(
+            miner_d10.backend_, X, 5, quantile=0.99, sample=128, seed=0
+        )
+
+    threshold = benchmark.pedantic(calibrate, rounds=3, iterations=1)
+    assert threshold > 0
+
+
+def main() -> None:
+    experiment = e4_threshold(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""E5 — effect of the neighbour count k.
+
+Times the OD kNN kernel at several k; ``python
+benchmarks/bench_e5_k_neighbours.py [--full]`` regenerates the E5 table
+(full grid: k up to 20).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.experiments import e5_k_neighbours
+from repro.core.od import outlying_degree
+
+
+@pytest.mark.parametrize("k", [3, 10, 20])
+def test_benchmark_od_kernel_vs_k(benchmark, miner_d10, workload_d10, k):
+    X = workload_d10.dataset.X
+    dims = tuple(range(10))
+    value = benchmark(
+        lambda: outlying_degree(miner_d10.backend_, X[0], k, dims, exclude=0)
+    )
+    assert value > 0
+
+
+def main() -> None:
+    experiment = e5_k_neighbours(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""E6 — effectiveness vs the evolutionary comparator and the oracle.
+
+Times one full effectiveness scoring of a planted point (exhaustive
+oracle + recovery metrics); ``python benchmarks/bench_e6_effectiveness.py
+[--full]`` regenerates the two-workload E6 table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.naive_search import exhaustive_search
+from repro.bench.experiments import e6_effectiveness
+from repro.bench.measures import planted_recovery
+from repro.core.filtering import minimal_masks
+from repro.core.od import ODEvaluator
+from repro.core.subspace import Subspace
+
+
+def test_benchmark_oracle_scoring(benchmark, miner_d10, workload_d10):
+    """Exhaustive oracle + filter + recovery scoring for one query."""
+    row = workload_d10.dataset.outlier_rows[0]
+    planted = workload_d10.dataset.true_subspaces[row]
+    X = workload_d10.dataset.X
+
+    def score():
+        evaluator = ODEvaluator(miner_d10.backend_, X[row], 5, exclude=row)
+        oracle = exhaustive_search(evaluator, miner_d10.threshold_)
+        minimal = [Subspace(m, 10) for m in minimal_masks(oracle.outlying_masks)]
+        return planted_recovery(minimal, planted)
+
+    recovery = benchmark.pedantic(score, rounds=3, iterations=1)
+    assert recovery.flagged
+
+
+def main() -> None:
+    experiment = e6_effectiveness(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""E7 — efficiency vs the evolutionary comparator.
+
+Times one GA generation-equivalent (population fitness sweep) against
+one HOS-Miner query; ``python benchmarks/bench_e7_vs_evolutionary.py
+[--full]`` regenerates the E7 table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.baselines.evolutionary import EvolutionarySubspaceSearch
+from repro.baselines.grid import EquiDepthGrid
+from repro.bench.experiments import e7_vs_evolutionary
+
+
+@pytest.fixture(scope="module")
+def ga_population(workload_d10):
+    X = workload_d10.dataset.X
+    grid = EquiDepthGrid(X, phi=4)
+    search = EvolutionarySubspaceSearch(phi=4, target_dims=2, population=40)
+    rng = np.random.default_rng(0)
+    population = [search._random_solution(rng, grid.d) for _ in range(40)]
+    return search, grid, population
+
+
+def test_benchmark_ga_fitness_sweep(benchmark, ga_population):
+    """One generation's fitness evaluations (40 cube counts)."""
+    search, grid, population = ga_population
+
+    def sweep():
+        return [search._fitness(grid, solution) for solution in population]
+
+    values = benchmark(sweep)
+    assert len(values) == 40
+
+
+def test_benchmark_grid_build(benchmark, workload_d10):
+    X = workload_d10.dataset.X
+    grid = benchmark(lambda: EquiDepthGrid(X, phi=5))
+    assert grid.phi == 5
+
+
+def main() -> None:
+    experiment = e7_vs_evolutionary(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

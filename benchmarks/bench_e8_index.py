@@ -1,0 +1,52 @@
+"""E8 — index backends (linear scan vs R*-tree vs X-tree) on subspace kNN.
+
+Times each backend's kNN on identical queries (clustered d=10 data plus
+the X-tree's uniform high-d regime); ``python benchmarks/bench_e8_index.py
+[--full]`` regenerates the E8 table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.experiments import e8_index
+from repro.index import LinearScanIndex, RStarTree, XTree
+
+
+@pytest.fixture(scope="module")
+def backends(workload_d10):
+    X = workload_d10.dataset.X
+    return {
+        "linear": LinearScanIndex(X),
+        "rstar": RStarTree(X, max_entries=16),
+        "xtree": XTree(X, max_entries=16),
+    }, X
+
+
+@pytest.mark.parametrize("name", ["linear", "rstar", "xtree"])
+def test_benchmark_subspace_knn(benchmark, backends, name):
+    index, X = backends
+    backend = index[name]
+    dims = (0, 3, 6, 9)
+    indices, _ = benchmark(lambda: backend.knn(X[7], 5, dims, exclude=7))
+    assert len(indices) == 5
+
+
+def test_benchmark_xtree_build_uniform16(benchmark, uniform_16d):
+    """X-tree construction in its supernode regime (n=2000, d=16)."""
+    tree = benchmark.pedantic(
+        lambda: XTree(uniform_16d, max_entries=16), rounds=2, iterations=1
+    )
+    assert tree.size == 2000
+
+
+def main() -> None:
+    experiment = e8_index(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

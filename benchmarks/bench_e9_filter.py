@@ -1,0 +1,46 @@
+"""E9 — result-refinement filter (Section 3.4).
+
+Times the minimal-antichain filter on a realistic upward-closed answer
+set; ``python benchmarks/bench_e9_filter.py [--full]`` regenerates the
+E9 table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.experiments import e9_filter
+from repro.core.filtering import expand_upward, minimal_masks
+
+
+@pytest.fixture(scope="module")
+def upward_closed_answer(miner_d10, workload_d10):
+    """The raw (unfiltered) answer set of a planted outlier query."""
+    row = workload_d10.dataset.outlier_rows[0]
+    outcome, _ = miner_d10.search_outcome(row)
+    return outcome.outlying_masks
+
+
+def test_benchmark_filter(benchmark, upward_closed_answer):
+    minimal = benchmark(lambda: minimal_masks(upward_closed_answer))
+    assert minimal
+    assert len(minimal) < len(upward_closed_answer)
+
+
+def test_benchmark_expand_upward(benchmark, upward_closed_answer):
+    """The inverse direction: reconstructing the closure from minima."""
+    minimal = minimal_masks(upward_closed_answer)
+    closure = benchmark(lambda: expand_upward(minimal, 10))
+    assert closure == set(upward_closed_answer)
+
+
+def main() -> None:
+    experiment = e9_filter(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

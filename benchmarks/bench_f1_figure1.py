@@ -1,0 +1,48 @@
+"""F1 — the Figure 1 scenario (one point, three 2-d views).
+
+Benchmarks a single-view OD evaluation (the atom of everything HOS-Miner
+does); ``python benchmarks/bench_f1_figure1.py [--full]`` prints the F1
+table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.experiments import f1_figure1
+from repro.core.od import ODEvaluator
+from repro.data.synthetic import make_figure1_data
+from repro.index.linear import LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def figure1_evaluator():
+    dataset = make_figure1_data(n=400, seed=0)
+    backend = LinearScanIndex(dataset.X)
+    return ODEvaluator(backend, dataset.X[0], 5, exclude=0)
+
+
+def test_benchmark_single_view_od(benchmark, figure1_evaluator):
+    """OD of p in one 2-d view, cache disabled by cycling masks."""
+    masks = [0b000011, 0b001100, 0b110000]
+    state = {"i": 0}
+
+    def evaluate():
+        state["i"] += 1
+        mask = masks[state["i"] % 3]
+        figure1_evaluator._cache.pop(mask, None)  # force a real evaluation
+        return figure1_evaluator.od(mask)
+
+    assert benchmark(evaluate) >= 0.0
+
+
+def main() -> None:
+    experiment = f1_figure1(fast="--full" not in sys.argv)
+    experiment.print()
+    experiment.save()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Reproduce Figure 1 of the paper: one point, three 2-d views.
+
+The paper motivates outlying-subspace detection with three 2-dimensional
+views of the same high-dimensional dataset: point ``p`` is "clearly an
+outlier" in the leftmost view and unremarkable in the other two. This
+example regenerates that situation, renders each view as ASCII art, and
+shows that HOS-Miner pinpoints exactly the outlying view.
+
+Run:  python examples/figure1_views.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HOSMiner, ODEvaluator, Subspace
+from repro.data import make_figure1_data
+
+
+def ascii_scatter(X: np.ndarray, dims: tuple[int, int], highlight: int,
+                  width: int = 56, height: int = 18) -> str:
+    """Render a 2-d view as text; the highlighted row prints as '*'."""
+    xs, ys = X[:, dims[0]], X[:, dims[1]]
+    x_low, x_high = xs.min(), xs.max()
+    y_low, y_high = ys.min(), ys.max()
+    grid = [[" "] * width for _ in range(height)]
+    for row in range(X.shape[0]):
+        col = int((xs[row] - x_low) / (x_high - x_low + 1e-12) * (width - 1))
+        line = int((ys[row] - y_low) / (y_high - y_low + 1e-12) * (height - 1))
+        cell = "*" if row == highlight else "x"
+        if grid[height - 1 - line][col] != "*":
+            grid[height - 1 - line][col] = cell
+    return "\n".join("".join(line) for line in grid)
+
+
+def main() -> None:
+    dataset = make_figure1_data(n=400, seed=0)
+    X = dataset.X
+    views = [(0, 1), (2, 3), (4, 5)]
+
+    miner = HOSMiner(k=5, sample_size=5, threshold_quantile=0.99).fit(X)
+    evaluator = ODEvaluator(miner.backend_, X[0], miner.config.k, exclude=0)
+
+    for dims in views:
+        subspace = Subspace.from_dims(dims, dataset.d)
+        od_value = evaluator.od(subspace.mask)
+        verdict = "OUTLIER" if od_value >= miner.threshold_ else "ordinary"
+        print(f"view {subspace.notation()}  --  OD(p) = {od_value:.2f} "
+              f"(T = {miner.threshold_:.2f})  ->  p is {verdict}")
+        print(ascii_scatter(X, dims, highlight=0))
+        print()
+
+    result = miner.query_row(0)
+    print("HOS-Miner's answer for p:")
+    print(result.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Continuous monitoring: dataset growth, batch detection, diagnostics.
+
+A scenario the 2004 demo hints at (interactive exploration) built from
+the library's extension surface: a "fleet" of sensor readings grows over
+time; after each batch the operator asks for *all* current outliers and
+drills into the strongest one with an OD profile and a threshold-free
+subspace ranking.
+
+Run:  python examples/fleet_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HOSMiner, ODEvaluator
+from repro.core.profile import compute_od_profile
+from repro.core.ranking import top_n_outlying_subspaces
+from repro.data import make_gaussian_mixture
+
+
+def main() -> None:
+    rng = np.random.default_rng(2004)
+    fleet = make_gaussian_mixture(n=600, d=7, n_clusters=2, seed=7)
+    miner = HOSMiner(k=5, sample_size=8, threshold_quantile=0.995, adaptive=True)
+    miner.fit(fleet.X)
+    print(f"fitted on {fleet.n} readings, T = {miner.threshold_:.3f}")
+
+    baseline = miner.detect_outliers()
+    print(f"baseline sweep: {len(baseline)} outlier(s)\n")
+
+    # --- a new batch arrives; two readings have gone wrong jointly -----
+    batch = rng.normal(size=(40, 7)) + fleet.X[:40]
+    batch[3, 1] += 9.0
+    batch[3, 5] += 9.0                      # sensor pair (2, 6) failure
+    batch[17, 4] += 12.0                    # single-sensor failure
+    miner.extend(batch, refresh="none")     # trickle update: keep T, priors
+    print(f"ingested a batch of {len(batch)}; dataset now {miner.backend_.size} rows")
+
+    detections = miner.detect_outliers()
+    print(f"post-batch sweep: {len(detections)} outlier(s), strongest first:")
+    for row, result in detections[:4]:
+        names = ", ".join(s.notation() for s in result.minimal[:4])
+        print(f"  row {row}: minimal outlying subspaces {names}")
+
+    # --- drill into the strongest detection ---------------------------
+    row, result = detections[0]
+    print(f"\n--- drill-down on row {row} ---")
+    print(result.explain())
+    evaluator = ODEvaluator(miner.backend_, miner.backend_.data[row],
+                            miner.config.k, exclude=row)
+    print()
+    print(compute_od_profile(evaluator, miner.threshold_).render())
+    print("\nthreshold-free ranking (normalised OD, <=2-d views):")
+    for entry in top_n_outlying_subspaces(evaluator, n=5, max_level=2):
+        print(f"  {entry.subspace.notation():<10} od={entry.od:8.3f}  "
+              f"score={entry.score:8.3f}")
+
+
+if __name__ == "__main__":
+    main()

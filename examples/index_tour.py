@@ -1,0 +1,71 @@
+"""A tour of the indexing substrate: linear scan vs R*-tree vs X-tree.
+
+The paper's first module X-tree-indexes the dataset "to facilitate k-NN
+search in every subspace". This example builds all three backends over
+the same data, shows that subspace kNN answers are identical, compares
+logical I/O costs, and demonstrates the X-tree's supernodes on uniform
+high-dimensional data (the regime the X-tree was invented for).
+
+Run:  python examples/index_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LinearScanIndex, RStarTree, XTree
+from repro.data import make_planted_outliers, make_uniform_noise
+
+
+def compare_backends(X: np.ndarray, label: str) -> None:
+    print(f"--- {label}: n={X.shape[0]}, d={X.shape[1]} ---")
+    backends = {
+        "linear": LinearScanIndex(X),
+        "rstar": RStarTree(X, max_entries=16),
+        "xtree": XTree(X, max_entries=16),
+    }
+    rng = np.random.default_rng(0)
+    query_rows = rng.choice(X.shape[0], size=20, replace=False)
+    dims = tuple(range(0, X.shape[1], 2))  # an arbitrary subspace
+
+    reference = None
+    for name, backend in backends.items():
+        backend.stats.reset()
+        answers = [
+            tuple(backend.knn(X[row], 5, dims, exclude=int(row))[0])
+            for row in query_rows
+        ]
+        if reference is None:
+            reference = answers
+        assert answers == reference, f"{name} disagrees with the scan!"
+        stats = backend.stats
+        extra = ""
+        if isinstance(backend, XTree):
+            extra = (f", supernodes={backend.supernode_count()}"
+                     f" (max {backend.max_supernode_blocks()} blocks)")
+        print(
+            f"{name:>7}: node accesses/query = "
+            f"{stats.node_accesses / len(query_rows):6.1f}, "
+            f"distance comps/query = "
+            f"{stats.distance_computations / len(query_rows):7.1f}{extra}"
+        )
+    print("all three backends returned identical neighbours ✓\n")
+
+
+def main() -> None:
+    clustered = make_planted_outliers(n=2000, d=8, n_outliers=0, seed=1)
+    compare_backends(clustered.X, "clustered data (trees shine)")
+
+    uniform = make_uniform_noise(n=2000, d=16, seed=2)
+    compare_backends(uniform.X, "uniform high-d data (X-tree builds supernodes)")
+
+    print(
+        "Note: on clustered, low-to-moderate-d data the trees cut logical\n"
+        "costs several-fold; on uniform high-d data directory regions\n"
+        "overlap so much that the X-tree widens nodes (supernodes) instead\n"
+        "of splitting uselessly — exactly the behaviour its paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

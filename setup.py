@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and ships setuptools without the
+``wheel`` package, so PEP 517/660 editable installs (which build an
+editable wheel) are unavailable. This shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` path. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

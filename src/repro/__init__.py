@@ -1,0 +1,62 @@
+"""HOS-Miner: detecting outlying subspaces of high-dimensional data.
+
+A full reproduction of *HOS-Miner: A System for Detecting Outlying
+Subspaces of High-dimensional Data* (Zhang, Lou, Ling, Wang — VLDB
+2004), including the X-tree indexing substrate, the Aggarwal–Yu
+evolutionary comparator, classic full-space outlier detectors, data
+generators, and the experiment harness. See README.md for a tour and
+DESIGN.md for the system inventory.
+
+Quickstart::
+
+    import numpy as np
+    from repro import HOSMiner
+    from repro.data import make_planted_outliers
+
+    dataset = make_planted_outliers(n=1000, d=8, n_outliers=5, seed=7)
+    miner = HOSMiner(k=5, sample_size=10).fit(dataset.X)
+    result = miner.query_row(dataset.outlier_rows[0])
+    print(result.explain())
+"""
+
+from repro.core import (
+    DynamicSubspaceSearch,
+    HOSMiner,
+    HOSMinerConfig,
+    HOSMinerError,
+    ODEvaluator,
+    OutlyingSubspaceResult,
+    PruningPriors,
+    SearchOutcome,
+    SearchStats,
+    Subspace,
+    calibrate_threshold,
+    learn_priors,
+    minimal_subspaces,
+    outlying_degree,
+)
+from repro.index import LinearScanIndex, RStarTree, XTree, make_backend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicSubspaceSearch",
+    "HOSMiner",
+    "HOSMinerConfig",
+    "HOSMinerError",
+    "LinearScanIndex",
+    "ODEvaluator",
+    "OutlyingSubspaceResult",
+    "PruningPriors",
+    "RStarTree",
+    "SearchOutcome",
+    "SearchStats",
+    "Subspace",
+    "XTree",
+    "__version__",
+    "calibrate_threshold",
+    "learn_priors",
+    "make_backend",
+    "minimal_subspaces",
+    "outlying_degree",
+]

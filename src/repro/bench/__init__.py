@@ -1,0 +1,28 @@
+"""Experiment harness: workloads, measures, tables, experiment suite.
+
+``repro.bench.experiments`` holds one function per experiment in the
+DESIGN.md index; the ``benchmarks/`` directory and the CLI both drive
+those functions, so results are identical regardless of entry point.
+"""
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import Experiment, timed
+from repro.bench.measures import PlantedRecovery, SetScores, planted_recovery, set_scores
+from repro.bench.reporting import Table, format_value, save_json
+from repro.bench.workloads import Workload, planted_workload, standard_miner
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Experiment",
+    "PlantedRecovery",
+    "SetScores",
+    "Table",
+    "Workload",
+    "format_value",
+    "planted_recovery",
+    "planted_workload",
+    "save_json",
+    "set_scores",
+    "standard_miner",
+    "timed",
+]

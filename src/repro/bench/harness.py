@@ -1,0 +1,97 @@
+"""Experiment harness: declarative experiment objects with saved artefacts.
+
+Each experiment (see the index in DESIGN.md) builds one
+:class:`Experiment`, fills its table, and optionally saves a JSON record
+under ``results/``. The benchmark files under ``benchmarks/`` and the
+CLI both drive experiments through this module, so tables are identical
+wherever they are produced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.reporting import Table, save_json
+
+__all__ = ["Experiment", "timed"]
+
+
+def timed(fn: Callable, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)``; return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class Experiment:
+    """A named experiment with one results table.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id from the DESIGN.md index (``"E1"``, ``"F1"``, ...).
+    title:
+        Human title printed above the table.
+    expectation:
+        The *shape* the paper predicts (printed with the table so every
+        run restates what to look for).
+    columns:
+        Table columns.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    expectation: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._table = Table(self.columns, title=f"{self.experiment_id}: {self.title}")
+
+    # ------------------------------------------------------------------
+    def add_row(self, **named: object) -> None:
+        self._table.add_row(**named)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        parts = [self._table.render()]
+        if self.expectation:
+            parts.append(f"expected shape: {self.expectation}")
+        parts.extend(f"note: {text}" for text in self.notes)
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        parts = [self._table.render_markdown()]
+        if self.expectation:
+            parts.append(f"\n*Expected shape*: {self.expectation}")
+        parts.extend(f"\n*Note*: {text}" for text in self.notes)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+    def save(self, directory: str = "results") -> str:
+        """Persist the experiment as JSON; returns the path."""
+        path = f"{directory}/{self.experiment_id.lower()}.json"
+        save_json(
+            path,
+            {
+                "id": self.experiment_id,
+                "title": self.title,
+                "expectation": self.expectation,
+                "notes": self.notes,
+                "rows": self._table.as_records(),
+            },
+        )
+        return path

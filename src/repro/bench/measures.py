@@ -1,0 +1,117 @@
+"""Effectiveness measures for subspace-detection experiments.
+
+Two notions of ground truth coexist:
+
+* the **oracle answer set** — the exact outlying subspaces computed by
+  exhaustive search; precision/recall against it scores any heuristic
+  (HOS-Miner's pruning is lossless, so it must score 1.0/1.0 — that is
+  itself a reproduced claim);
+* the **planted subspace** ``s*`` of a synthetic outlier; recovery
+  metrics ask whether a method points the user at the planted cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.subspace import Subspace, is_subset
+
+__all__ = [
+    "SetScores",
+    "set_scores",
+    "planted_recovery",
+    "PlantedRecovery",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SetScores:
+    """Precision / recall / F1 of a detected set vs a reference set."""
+
+    precision: float
+    recall: float
+    f1: float
+    detected: int
+    reference: int
+    correct: int
+
+
+def set_scores(detected: Iterable[int], reference: Iterable[int]) -> SetScores:
+    """Score two collections of subspace masks as sets.
+
+    Empty-set conventions: precision of an empty detection is 1.0
+    (nothing wrong was claimed); recall of an empty reference is 1.0
+    (nothing was there to find).
+    """
+    detected_set = set(detected)
+    reference_set = set(reference)
+    correct = len(detected_set & reference_set)
+    precision = correct / len(detected_set) if detected_set else 1.0
+    recall = correct / len(reference_set) if reference_set else 1.0
+    denominator = precision + recall
+    f1 = 2.0 * precision * recall / denominator if denominator > 0 else 0.0
+    return SetScores(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        detected=len(detected_set),
+        reference=len(reference_set),
+        correct=correct,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PlantedRecovery:
+    """How well an answer points at a planted subspace ``s*``.
+
+    Attributes
+    ----------
+    flagged:
+        The method reported *any* outlying subspace for the point.
+    exact:
+        ``s*`` itself appears among the minimal detected subspaces.
+    contained:
+        Some minimal detected subspace is a subset of ``s*`` — the
+        answer isolates (part of) the planted cause without dragging in
+        unrelated dimensions; equivalently ``s*`` lies in the upward
+        closure of the detection.
+    covered:
+        Some minimal detected subspace relates to ``s*`` by inclusion in
+        either direction — the weakest "pointed at the cause" notion
+        (a superset answer still names every planted dimension).
+    best_jaccard:
+        Best Jaccard similarity between ``s*`` and any minimal detected
+        subspace (0 when nothing was detected).
+    """
+
+    flagged: bool
+    exact: bool
+    contained: bool
+    covered: bool
+    best_jaccard: float
+
+
+def planted_recovery(minimal: Iterable[Subspace], planted: Subspace) -> PlantedRecovery:
+    """Score a minimal-subspace answer against a planted subspace."""
+    minimal = list(minimal)
+    if not minimal:
+        return PlantedRecovery(
+            flagged=False, exact=False, contained=False, covered=False, best_jaccard=0.0
+        )
+    exact = any(found.mask == planted.mask for found in minimal)
+    contained = any(is_subset(found.mask, planted.mask) for found in minimal)
+    covered = contained or any(
+        is_subset(planted.mask, found.mask) for found in minimal
+    )
+    best_jaccard = max(
+        (found.mask & planted.mask).bit_count() / (found.mask | planted.mask).bit_count()
+        for found in minimal
+    )
+    return PlantedRecovery(
+        flagged=True,
+        exact=exact,
+        contained=contained,
+        covered=covered,
+        best_jaccard=best_jaccard,
+    )

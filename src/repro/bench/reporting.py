@@ -1,0 +1,106 @@
+"""Plain-text / markdown tables and JSON dumps for experiment output.
+
+Every benchmark prints the same kind of artefact the paper's demo would
+show on screen: a small table of parameter settings vs measured
+quantities. No plotting dependency exists offline, so "figures" are
+rendered as their underlying data series.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+__all__ = ["Table", "format_value", "save_json"]
+
+
+def format_value(value: object) -> str:
+    """Human formatting: floats get adaptive precision, the rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Table:
+    """A fixed-column results table with text and markdown renderers."""
+
+    def __init__(self, columns: Iterable[str], title: str = "") -> None:
+        self.columns = list(columns)
+        if not self.columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: object, **named: object) -> None:
+        """Append a row positionally or by column name (not both)."""
+        if values and named:
+            raise ValueError("pass positional values or named values, not both")
+        if named:
+            missing = [column for column in self.columns if column not in named]
+            if missing:
+                raise ValueError(f"missing columns: {missing}")
+            values = tuple(named[column] for column in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([format_value(value) for value in values])
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Monospace text table."""
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(name.ljust(width) for name, width in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown table."""
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.columns)) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def as_records(self) -> list[dict[str, str]]:
+        """Rows as dictionaries (for JSON dumps)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+
+def save_json(path: str, payload: object) -> None:
+    """Write a JSON artefact, creating parent directories as needed."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

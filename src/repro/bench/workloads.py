@@ -1,0 +1,86 @@
+"""Shared workload construction for the experiment suite.
+
+Centralising dataset/query construction keeps every experiment (and its
+pytest-benchmark twin) on *identical* inputs, so numbers in
+EXPERIMENTS.md can be regenerated exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.miner import HOSMiner
+from repro.data.synthetic import Dataset, make_planted_outliers
+
+__all__ = ["Workload", "planted_workload", "standard_miner"]
+
+#: Seed base for every experiment workload; per-config offsets keep
+#: configurations independent but reproducible.
+SEED = 20040830  # VLDB 2004 opened on 30 Aug 2004.
+
+
+@dataclass(slots=True)
+class Workload:
+    """A dataset plus the rows every method will be queried on."""
+
+    dataset: Dataset
+    query_rows: list[int]
+
+    @property
+    def planted_queries(self) -> list[int]:
+        planted = set(self.dataset.outlier_rows)
+        return [row for row in self.query_rows if row in planted]
+
+    @property
+    def inlier_queries(self) -> list[int]:
+        planted = set(self.dataset.outlier_rows)
+        return [row for row in self.query_rows if row not in planted]
+
+
+def planted_workload(
+    n: int,
+    d: int,
+    n_outliers: int = 4,
+    n_inlier_queries: int = 4,
+    subspace_dims: "tuple[int, ...] | int" = (2, 3),
+    displacement: float = 8.0,
+    seed_offset: int = 0,
+) -> Workload:
+    """The standard E-series workload: planted outliers + inlier controls.
+
+    Query rows are all planted outliers plus ``n_inlier_queries``
+    deterministic non-planted rows.
+    """
+    dataset = make_planted_outliers(
+        n=n,
+        d=d,
+        n_outliers=n_outliers,
+        subspace_dims=subspace_dims,
+        displacement=displacement,
+        seed=SEED + seed_offset,
+    )
+    rng = np.random.default_rng(SEED + seed_offset + 999)
+    inliers = rng.choice(
+        np.arange(n_outliers, n), size=n_inlier_queries, replace=False
+    )
+    query_rows = list(range(n_outliers)) + sorted(int(row) for row in inliers)
+    return Workload(dataset=dataset, query_rows=query_rows)
+
+
+def standard_miner(
+    workload: Workload,
+    k: int = 5,
+    sample_size: int = 8,
+    threshold_quantile: float = 0.99,
+    **overrides,
+) -> HOSMiner:
+    """A fitted miner with the E-series default configuration."""
+    miner = HOSMiner(
+        k=k,
+        sample_size=sample_size,
+        threshold_quantile=threshold_quantile,
+        **overrides,
+    )
+    return miner.fit(workload.dataset.X)

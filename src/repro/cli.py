@@ -1,0 +1,225 @@
+"""Command-line interface — the interactive part of the demo (Section 4).
+
+Subcommands
+-----------
+``demo``
+    The guided tour the paper's demo promised: the Figure 1 scenario
+    plus the athlete and patient applications, with explanations.
+``query``
+    Fit HOS-Miner on a CSV file and print the outlying subspaces of one
+    or more rows (``--profile`` adds the per-level OD profile).
+``detect``
+    Fit on a CSV file and list every row that is an outlier in *some*
+    subspace, strongest first.
+``experiment``
+    Run one (or all) of the DESIGN.md experiments and print its table;
+    ``--full`` uses the complete parameter grids, ``--save`` writes the
+    JSON artefact under ``results/``.
+
+Examples::
+
+    hos-miner demo
+    hos-miner query data.csv --row 3 --k 5 --quantile 0.99 --profile
+    hos-miner detect data.csv --normalize --top 10
+    hos-miner experiment e1 --full --save
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.core.exceptions import HOSMinerError
+from repro.core.miner import HOSMiner
+from repro.data.loaders import load_athletes, load_csv, load_patients
+from repro.data.normalize import zscore
+from repro.data.synthetic import make_figure1_data
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hos-miner",
+        description="HOS-Miner: detect the outlying subspaces of high-dimensional data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="run the guided demo scenarios")
+
+    query = subparsers.add_parser("query", help="query rows of a CSV dataset")
+    query.add_argument("csv", help="numeric CSV file with a header row")
+    query.add_argument(
+        "--row", type=int, action="append", required=True,
+        help="dataset row to query (repeatable)",
+    )
+    query.add_argument("--k", type=int, default=5, help="neighbour count (default 5)")
+    query.add_argument(
+        "--threshold", type=float, default=None,
+        help="distance threshold T (default: calibrated from --quantile)",
+    )
+    query.add_argument(
+        "--quantile", type=float, default=0.995,
+        help="full-space OD quantile for auto T (default 0.995)",
+    )
+    query.add_argument(
+        "--index", choices=["linear", "rstar", "xtree"], default="linear",
+        help="kNN backend (default linear)",
+    )
+    query.add_argument(
+        "--sample-size", type=int, default=10, help="learning sample size S (default 10)"
+    )
+    query.add_argument(
+        "--normalize", action="store_true", help="z-score the data before mining"
+    )
+    query.add_argument(
+        "--profile", action="store_true",
+        help="also print the per-level OD profile of each queried row",
+    )
+
+    detect = subparsers.add_parser(
+        "detect", help="list every dataset row that has an outlying subspace"
+    )
+    detect.add_argument("csv", help="numeric CSV file with a header row")
+    detect.add_argument("--k", type=int, default=5, help="neighbour count (default 5)")
+    detect.add_argument(
+        "--quantile", type=float, default=0.995,
+        help="full-space OD quantile for auto T (default 0.995)",
+    )
+    detect.add_argument(
+        "--top", type=int, default=None, help="report at most this many outliers"
+    )
+    detect.add_argument(
+        "--sample-size", type=int, default=10, help="learning sample size S (default 10)"
+    )
+    detect.add_argument(
+        "--normalize", action="store_true", help="z-score the data before mining"
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run an experiment from the DESIGN.md index"
+    )
+    experiment.add_argument(
+        "id", choices=sorted(ALL_EXPERIMENTS) + ["all"], help="experiment id, or 'all'"
+    )
+    experiment.add_argument(
+        "--full", action="store_true", help="run the full (slow) parameter grid"
+    )
+    experiment.add_argument(
+        "--save", action="store_true", help="write results/<id>.json"
+    )
+    return parser
+
+
+def _run_demo() -> int:
+    print("=" * 72)
+    print("Scenario 1 — Figure 1: a point outlying in exactly one 2-d view")
+    print("=" * 72)
+    dataset = make_figure1_data(seed=0)
+    miner = HOSMiner(k=5, sample_size=5, threshold_quantile=0.99).fit(dataset.X)
+    result = miner.query_row(0)
+    print(result.explain())
+    print()
+
+    print("=" * 72)
+    print("Scenario 2 — athlete training (which disciplines are weak?)")
+    print("=" * 72)
+    athletes = load_athletes()
+    miner = HOSMiner(k=6, sample_size=8, threshold_quantile=0.99).fit(
+        zscore(athletes.X), feature_names=athletes.feature_names
+    )
+    for row in athletes.outlier_rows:
+        print(f"athlete #{row}: planted weakness "
+              f"{athletes.true_subspaces[row].notation()}")
+        print(miner.query_row(row).explain())
+        print()
+
+    print("=" * 72)
+    print("Scenario 3 — medical screening (where is the patient abnormal?)")
+    print("=" * 72)
+    patients = load_patients()
+    miner = HOSMiner(k=6, sample_size=8, threshold_quantile=0.99).fit(
+        zscore(patients.X), feature_names=patients.feature_names
+    )
+    for row in patients.outlier_rows:
+        print(f"patient #{row}: planted condition "
+              f"{patients.true_subspaces[row].notation()}")
+        print(miner.query_row(row).explain())
+        print()
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    dataset = load_csv(args.csv)
+    X = zscore(dataset.X) if args.normalize else dataset.X
+    miner = HOSMiner(
+        k=args.k,
+        threshold=args.threshold,
+        threshold_quantile=args.quantile,
+        index=args.index,
+        sample_size=args.sample_size,
+    ).fit(X, feature_names=dataset.feature_names)
+    print(f"fitted on {dataset.n} rows x {dataset.d} columns; T = {miner.threshold_:.4g}")
+    for row in args.row:
+        print(f"\nrow {row}:")
+        print(miner.query_row(row).explain())
+        if args.profile:
+            from repro.core.od import ODEvaluator
+            from repro.core.profile import compute_od_profile
+
+            evaluator = ODEvaluator(miner.backend_, X[row], args.k, exclude=row)
+            print(compute_od_profile(evaluator, miner.threshold_).render())
+    return 0
+
+
+def _run_detect(args: argparse.Namespace) -> int:
+    dataset = load_csv(args.csv)
+    X = zscore(dataset.X) if args.normalize else dataset.X
+    miner = HOSMiner(
+        k=args.k,
+        threshold_quantile=args.quantile,
+        sample_size=args.sample_size,
+    ).fit(X, feature_names=dataset.feature_names)
+    detections = miner.detect_outliers(max_results=args.top)
+    print(
+        f"{len(detections)} outlier(s) among {dataset.n} rows "
+        f"(k={args.k}, T={miner.threshold_:.4g})"
+    )
+    for row, result in detections:
+        print(f"\nrow {row}:")
+        print(result.explain())
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    ids = sorted(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    for experiment_id in ids:
+        experiment = ALL_EXPERIMENTS[experiment_id](fast=not args.full)
+        experiment.print()
+        if args.save:
+            path = experiment.save()
+            print(f"saved {path}\n")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "demo":
+            return _run_demo()
+        if args.command == "query":
+            return _run_query(args)
+        if args.command == "detect":
+            return _run_detect(args)
+        if args.command == "experiment":
+            return _run_experiment(args)
+    except HOSMinerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Configuration of the HOS-Miner pipeline.
+
+One frozen dataclass collects every knob of Figure 2's four modules so a
+configuration can be logged, hashed and reproduced. Validation happens
+eagerly at construction; dataset-dependent checks (``k`` vs ``n``)
+happen at fit time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["HOSMinerConfig"]
+
+_INDEX_BACKENDS = ("linear", "rstar", "xtree", "vafile")
+_RESELECT_MODES = ("level", "evaluation")
+
+
+@dataclass(frozen=True)
+class HOSMinerConfig:
+    """All parameters of a HOS-Miner instance.
+
+    Attributes
+    ----------
+    k:
+        Neighbour count of the OD measure.
+    threshold:
+        The global distance threshold ``T``; ``None`` calibrates it at
+        fit time as the ``threshold_quantile`` quantile of full-space
+        ODs over ``threshold_sample`` dataset points (under OD
+        monotonicity, full-space OD ≥ any subspace OD, so this bounds
+        the fraction of dataset points that have any outlying subspace).
+    threshold_quantile, threshold_sample:
+        Auto-calibration parameters (ignored when ``threshold`` is set).
+    metric:
+        Metric name or instance; must be monotone under subspace
+        inclusion (all built-ins are).
+    index:
+        kNN backend: ``"linear"`` (default), ``"rstar"``, ``"xtree"``
+        or ``"vafile"``.
+    index_options:
+        Extra keyword arguments for the backend constructor.
+    sample_size:
+        Learning sample size ``S``; 0 disables learning (uniform priors).
+    seed:
+        Seed for the learning sampler and threshold calibration sampler.
+    reselect:
+        TSF re-selection granularity (``"level"`` per the paper, or
+        ``"evaluation"``).
+    adaptive:
+        Enable the adaptive-prior extension of
+        :class:`~repro.core.search.DynamicSubspaceSearch` (off by
+        default for paper fidelity; never changes answers, only cost).
+    """
+
+    k: int = 5
+    threshold: float | None = None
+    threshold_quantile: float = 0.995
+    threshold_sample: int = 256
+    metric: object = "euclidean"
+    index: str = "linear"
+    index_options: dict = field(default_factory=dict)
+    sample_size: int = 10
+    seed: int | None = 0
+    reselect: str = "level"
+    adaptive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.threshold is not None and self.threshold < 0:
+            raise ConfigurationError(
+                f"threshold must be non-negative, got {self.threshold}"
+            )
+        if not 0.0 < self.threshold_quantile < 1.0:
+            raise ConfigurationError(
+                f"threshold_quantile must be in (0, 1), got {self.threshold_quantile}"
+            )
+        if self.threshold_sample < 1:
+            raise ConfigurationError(
+                f"threshold_sample must be >= 1, got {self.threshold_sample}"
+            )
+        if self.index not in _INDEX_BACKENDS:
+            raise ConfigurationError(
+                f"index must be one of {_INDEX_BACKENDS}, got {self.index!r}"
+            )
+        if self.sample_size < 0:
+            raise ConfigurationError(
+                f"sample_size must be >= 0, got {self.sample_size}"
+            )
+        if self.reselect not in _RESELECT_MODES:
+            raise ConfigurationError(
+                f"reselect must be one of {_RESELECT_MODES}, got {self.reselect!r}"
+            )

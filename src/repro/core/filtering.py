@@ -1,0 +1,82 @@
+"""Result refinement — Section 3.4.
+
+A point's outlying-subspace set is upward closed: every superset of an
+outlying subspace is outlying (Property 2). Returning all of them would
+drown the user, so HOS-Miner's filter keeps only the *minimal* ones —
+the antichain of lowest-dimensional outlying subspaces from which the
+rest can be inferred.
+
+The paper's procedure is an upward sweep: examine candidates in
+ascending dimensionality and discard any that is a superset of an
+already-kept subspace. The worked example (d = 4) — candidates
+``[1,3], [2,4], [1,2,3], [1,2,4], [1,3,4], [2,3,4], [1,2,3,4]`` reduce
+to ``[1,3]`` and ``[2,4]`` — is pinned in ``tests/test_filtering.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.subspace import Subspace, is_subset, popcount
+
+__all__ = [
+    "minimal_masks",
+    "minimal_subspaces",
+    "is_antichain",
+    "covers",
+    "expand_upward",
+]
+
+
+def minimal_masks(masks: Iterable[int]) -> list[int]:
+    """Reduce a set of subspace masks to its minimal antichain.
+
+    Runs the paper's upward sweep: ascending by dimensionality (ties by
+    mask value, for determinism), a candidate survives only if no kept
+    subspace is a subset of it. Duplicates collapse naturally.
+    """
+    kept: list[int] = []
+    for mask in sorted(set(masks), key=lambda m: (popcount(m), m)):
+        if not any(is_subset(kept_mask, mask) for kept_mask in kept):
+            kept.append(mask)
+    return kept
+
+
+def minimal_subspaces(subspaces: Iterable[Subspace]) -> list[Subspace]:
+    """Wrapper-typed variant of :func:`minimal_masks`."""
+    subspaces = list(subspaces)
+    if not subspaces:
+        return []
+    d = subspaces[0].d
+    return [Subspace(mask, d) for mask in minimal_masks(s.mask for s in subspaces)]
+
+
+def is_antichain(masks: Sequence[int]) -> bool:
+    """Whether no mask in the collection contains another — the
+    correctness invariant of the filter output."""
+    masks = list(masks)
+    for i, a in enumerate(masks):
+        for b in masks[i + 1 :]:
+            if is_subset(a, b) or is_subset(b, a):
+                return False
+    return True
+
+
+def covers(minimal: Sequence[int], full: Iterable[int]) -> bool:
+    """Whether every mask of *full* is a superset of some mask in
+    *minimal* — i.e. the filter lost no information."""
+    return all(
+        any(is_subset(kept, mask) for kept in minimal) for mask in full
+    )
+
+
+def expand_upward(minimal: Sequence[int], d: int) -> set[int]:
+    """Reconstruct the full upward-closed outlying set from its minimal
+    antichain — the inverse of the filter, used to answer "is subspace s
+    outlying?" from a stored result without re-searching."""
+    from repro.core.subspace import iter_supermasks
+
+    expanded: set[int] = set()
+    for mask in minimal:
+        expanded.update(iter_supermasks(mask, d))
+    return expanded

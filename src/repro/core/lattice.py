@@ -1,0 +1,279 @@
+"""Materialised subspace-lattice state for one search run.
+
+The dynamic subspace search needs, at every step:
+
+* the status of each of the ``2**d - 1`` non-empty subspaces
+  (unevaluated, evaluated-outlying, evaluated-non-outlying,
+  pruned-outlying, pruned-non-outlying);
+* fast bulk transitions "prune all subsets of s" / "prune all supersets
+  of s";
+* the per-level remaining workload sums ``C_down_left(m)`` and
+  ``C_up_left(m)`` feeding ``f_down`` / ``f_up`` in the TSF formula.
+
+A flat ``int8`` array indexed by bitmask provides all three. Memory is
+``2**d`` bytes, so the width guard :data:`MAX_LATTICE_DIM` (20 → 1 MiB)
+keeps accidental huge allocations out; the 2004 system targeted the same
+"tens of dimensions" regime.
+
+The lattice is *search-agnostic*: it never computes OD values, it only
+records decisions, so the naive baselines in
+:mod:`repro.baselines.naive_search` reuse it unchanged.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.exceptions import DimensionalityError
+from repro.core.subspace import (
+    full_mask,
+    iter_proper_submasks,
+    iter_proper_supermasks,
+    masks_at_level,
+    popcount,
+)
+
+__all__ = ["SubspaceState", "SubspaceLattice", "MAX_LATTICE_DIM"]
+
+#: Hard cap on the materialised lattice width; beyond this the state array
+#: alone would exceed a mebibyte and submask enumeration becomes the real
+#: bottleneck anyway.
+MAX_LATTICE_DIM = 20
+
+
+class SubspaceState(IntEnum):
+    """Lifecycle of one subspace inside a search run."""
+
+    UNKNOWN = 0
+    #: OD was computed and found ``>= T``.
+    EVALUATED_OUTLYING = 1
+    #: OD was computed and found ``< T``.
+    EVALUATED_NON_OUTLYING = 2
+    #: Inferred outlying via upward pruning (a subset was outlying).
+    PRUNED_OUTLYING = 3
+    #: Inferred non-outlying via downward pruning (a superset was not).
+    PRUNED_NON_OUTLYING = 4
+
+
+_OUTLYING_STATES = (SubspaceState.EVALUATED_OUTLYING, SubspaceState.PRUNED_OUTLYING)
+
+
+class SubspaceLattice:
+    """Mutable state of every non-empty subspace of a ``d``-wide space.
+
+    Parameters
+    ----------
+    d:
+        Ambient dimensionality, ``1 <= d <= MAX_LATTICE_DIM``.
+
+    Notes
+    -----
+    All mutating operations keep two aggregates exact:
+
+    * ``remaining_count[m]`` — number of UNKNOWN subspaces at level ``m``;
+    * ``remaining_workload[m] = remaining_count[m] * m`` — their summed
+      dimensionalities, the building block of ``C_down_left`` /
+      ``C_up_left``.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 1:
+            raise DimensionalityError(f"ambient dimensionality must be >= 1, got {d}")
+        if d > MAX_LATTICE_DIM:
+            raise DimensionalityError(
+                f"d={d} exceeds the materialised-lattice cap of {MAX_LATTICE_DIM}; "
+                "reduce the dimensionality (e.g. by feature selection) or use the "
+                "naive frontier search for spot checks"
+            )
+        self.d = d
+        self._state = np.zeros(1 << d, dtype=np.int8)
+        from math import comb
+
+        self._level_sizes = [comb(d, m) for m in range(d + 1)]
+        self._remaining_count = list(self._level_sizes)
+        self._remaining_count[0] = 0  # the empty subspace is not searched
+        self._outlying_decided = [0] * (d + 1)
+        self._level_masks_cache: dict[int, list[int]] = {}
+
+    # -- queries ---------------------------------------------------------
+    def state(self, mask: int) -> SubspaceState:
+        """Current state of one subspace."""
+        self._check_mask(mask)
+        return SubspaceState(int(self._state[mask]))
+
+    def is_unknown(self, mask: int) -> bool:
+        return self._state[mask] == SubspaceState.UNKNOWN
+
+    def is_outlying(self, mask: int) -> bool:
+        """Whether the subspace is known outlying (evaluated or inferred)."""
+        return int(self._state[mask]) in (
+            SubspaceState.EVALUATED_OUTLYING,
+            SubspaceState.PRUNED_OUTLYING,
+        )
+
+    def has_unknown(self) -> bool:
+        """Whether any subspace still awaits a decision."""
+        return any(count > 0 for count in self._remaining_count[1:])
+
+    def remaining_count(self, m: int) -> int:
+        """Number of UNKNOWN subspaces at level ``m``."""
+        return self._remaining_count[m]
+
+    def remaining_workload_below(self, m: int) -> int:
+        """``C_down_left(m)``: Σ dim(s) over UNKNOWN s with dim(s) < m."""
+        return sum(i * self._remaining_count[i] for i in range(1, m))
+
+    def remaining_workload_above(self, m: int) -> int:
+        """``C_up_left(m)``: Σ dim(s) over UNKNOWN s with dim(s) > m."""
+        return sum(i * self._remaining_count[i] for i in range(m + 1, self.d + 1))
+
+    def levels_with_unknown(self) -> list[int]:
+        """Levels that still contain UNKNOWN subspaces, ascending."""
+        return [m for m in range(1, self.d + 1) if self._remaining_count[m] > 0]
+
+    def decided_stats(self, m: int) -> tuple[int, int]:
+        """``(decided, outlying)`` counts at level ``m`` — the evidence the
+        adaptive-prior extension blends into ``p_up(m)``."""
+        decided = self._level_sizes[m] - self._remaining_count[m]
+        return decided, self._outlying_decided[m]
+
+    def decided_stats_total(self) -> tuple[int, int]:
+        """``(decided, outlying)`` counts across the whole lattice."""
+        decided = sum(
+            self._level_sizes[m] - self._remaining_count[m]
+            for m in range(1, self.d + 1)
+        )
+        outlying = sum(self._outlying_decided[1:])
+        return decided, outlying
+
+    def unknown_masks_at_level(self, m: int) -> list[int]:
+        """Snapshot of the UNKNOWN masks at level ``m``.
+
+        A fresh list is returned because callers mutate the lattice while
+        iterating (evaluations at the same level prune siblings).
+        """
+        return [mask for mask in self._masks_at_level(m) if self.is_unknown(mask)]
+
+    def first_unknown_at_level(self, m: int, cursor: int = 0) -> tuple[int, int]:
+        """First UNKNOWN mask at level ``m`` at or after position *cursor*.
+
+        Returns ``(mask, position)``, or ``(-1, len)`` when the level is
+        exhausted. Because states only ever move away from UNKNOWN, a
+        caller may carry the returned position forward as the next
+        cursor — the basis of the O(1)-amortised scan used by the
+        per-evaluation re-selection mode.
+        """
+        masks = self._masks_at_level(m)
+        position = cursor
+        while position < len(masks):
+            if self._state[masks[position]] == SubspaceState.UNKNOWN:
+                return masks[position], position
+            position += 1
+        return -1, position
+
+    # -- transitions -------------------------------------------------------
+    def mark_evaluated(self, mask: int, outlying: bool) -> None:
+        """Record the result of an actual OD computation."""
+        self._check_mask(mask)
+        if not self.is_unknown(mask):
+            raise DimensionalityError(
+                f"subspace {mask:#x} was already decided ({self.state(mask).name})"
+            )
+        new_state = (
+            SubspaceState.EVALUATED_OUTLYING
+            if outlying
+            else SubspaceState.EVALUATED_NON_OUTLYING
+        )
+        self._state[mask] = new_state
+        level = popcount(mask)
+        self._remaining_count[level] -= 1
+        if outlying:
+            self._outlying_decided[level] += 1
+
+    def prune_supersets(self, mask: int) -> int:
+        """Upward pruning: mark every UNKNOWN proper superset outlying.
+
+        Returns the number of subspaces newly decided.
+        """
+        self._check_mask(mask)
+        level = popcount(mask)
+        # Cheap guard: when every higher level is already decided, the
+        # (up to 2**(d-m)) supermask walk cannot find anything to prune.
+        if all(self._remaining_count[i] == 0 for i in range(level + 1, self.d + 1)):
+            return 0
+        pruned = 0
+        for sup in iter_proper_supermasks(mask, self.d):
+            if self._state[sup] == SubspaceState.UNKNOWN:
+                self._state[sup] = SubspaceState.PRUNED_OUTLYING
+                sup_level = popcount(sup)
+                self._remaining_count[sup_level] -= 1
+                self._outlying_decided[sup_level] += 1
+                pruned += 1
+        return pruned
+
+    def prune_subsets(self, mask: int) -> int:
+        """Downward pruning: mark every UNKNOWN proper subset non-outlying.
+
+        Returns the number of subspaces newly decided.
+        """
+        self._check_mask(mask)
+        level = popcount(mask)
+        # Mirror guard of prune_supersets for the submask walk.
+        if all(self._remaining_count[i] == 0 for i in range(1, level)):
+            return 0
+        pruned = 0
+        for sub in iter_proper_submasks(mask):
+            if self._state[sub] == SubspaceState.UNKNOWN:
+                self._state[sub] = SubspaceState.PRUNED_NON_OUTLYING
+                self._remaining_count[popcount(sub)] -= 1
+                pruned += 1
+        return pruned
+
+    # -- results -----------------------------------------------------------
+    def outlying_masks(self) -> list[int]:
+        """Every subspace known outlying, as raw masks (unspecified order)."""
+        states = self._state
+        outlying = np.flatnonzero(
+            (states == SubspaceState.EVALUATED_OUTLYING)
+            | (states == SubspaceState.PRUNED_OUTLYING)
+        )
+        return [int(mask) for mask in outlying]
+
+    def iter_states(self) -> Iterator[tuple[int, SubspaceState]]:
+        """Yield ``(mask, state)`` for every non-empty subspace."""
+        for mask in range(1, 1 << self.d):
+            yield mask, SubspaceState(int(self._state[mask]))
+
+    def level_outlying_fraction(self, m: int) -> float:
+        """Fraction of level-``m`` subspaces known outlying.
+
+        Only meaningful once the search has finished (no UNKNOWN left at
+        the level); used by the sample-based learning pass to turn one
+        sample search into ``p_up(m, sp)``.
+        """
+        masks = self._masks_at_level(m)
+        outlying = sum(1 for mask in masks if self.is_outlying(mask))
+        return outlying / len(masks)
+
+    def counts_by_state(self) -> dict[SubspaceState, int]:
+        """Histogram of subspace states (excluding the empty subspace)."""
+        values, counts = np.unique(self._state[1:], return_counts=True)
+        histogram = {state: 0 for state in SubspaceState}
+        for value, count in zip(values, counts):
+            histogram[SubspaceState(int(value))] = int(count)
+        return histogram
+
+    # -- internals -----------------------------------------------------------
+    def _masks_at_level(self, m: int) -> list[int]:
+        if m not in self._level_masks_cache:
+            self._level_masks_cache[m] = masks_at_level(self.d, m)
+        return self._level_masks_cache[m]
+
+    def _check_mask(self, mask: int) -> None:
+        if not 1 <= mask <= full_mask(self.d):
+            raise DimensionalityError(
+                f"mask {mask:#x} is not a non-empty subspace of a d={self.d} space"
+            )

@@ -1,0 +1,349 @@
+"""The HOS-Miner facade — Figure 2's four modules wired together.
+
+``fit`` builds the index (X-tree Indexing module), calibrates the
+threshold if asked, and runs the Sample-based Learning module;
+``query*`` run the Dynamic Subspace Search for a point and push the
+answer through the Filtering module. A fitted miner is reusable across
+any number of query points, which is the intended demo workflow.
+
+Typical use::
+
+    from repro import HOSMiner
+    miner = HOSMiner(k=5, threshold=12.0, sample_size=10).fit(X)
+    result = miner.query_row(42)          # a dataset member
+    result = miner.query_point(vector)    # an external point
+    print(result.explain())
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import HOSMinerConfig
+from repro.core.exceptions import (
+    ConfigurationError,
+    DataShapeError,
+    NotFittedError,
+)
+from repro.core.filtering import minimal_masks
+from repro.core.learning import LearningReport, learn_priors
+from repro.core.od import ODEvaluator, outlying_degree
+from repro.core.priors import PruningPriors
+from repro.core.result import OutlyingSubspaceResult
+from repro.core.search import DynamicSubspaceSearch, SearchOutcome
+from repro.core.subspace import Subspace
+from repro.index import make_backend
+from repro.index.base import KnnBackend
+
+__all__ = ["HOSMiner", "calibrate_threshold"]
+
+
+def calibrate_threshold(
+    backend: KnnBackend,
+    X: np.ndarray,
+    k: int,
+    quantile: float = 0.995,
+    sample: int = 256,
+    seed: int | None = 0,
+) -> float:
+    """Pick ``T`` as a quantile of *full-space* ODs over sampled rows.
+
+    Under OD monotonicity the full space maximises OD over all
+    subspaces, so a point has *some* outlying subspace iff its
+    full-space OD reaches ``T``. Setting ``T`` at, say, the 0.995
+    full-space quantile therefore flags roughly the top 0.5% of points
+    as outliers-somewhere — a practical way to anchor the paper's
+    otherwise user-supplied threshold.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ConfigurationError(f"quantile must be in (0, 1), got {quantile}")
+    n = X.shape[0]
+    rng = np.random.default_rng(seed)
+    rows = (
+        np.arange(n)
+        if sample >= n
+        else np.sort(rng.choice(n, size=sample, replace=False))
+    )
+    dims = tuple(range(backend.d))
+    full_space_ods = [
+        outlying_degree(backend, X[row], k, dims, exclude=int(row)) for row in rows
+    ]
+    return float(np.quantile(full_space_ods, quantile))
+
+
+class HOSMiner:
+    """Detect the outlying subspaces of query points (the paper's system).
+
+    Parameters may be given as a prebuilt :class:`HOSMinerConfig` or as
+    keyword overrides of the defaults::
+
+        HOSMiner(k=8, threshold=30.0, index="xtree", sample_size=20)
+    """
+
+    def __init__(self, config: HOSMinerConfig | None = None, **overrides) -> None:
+        if config is not None and overrides:
+            raise ConfigurationError("pass either a config object or keyword overrides")
+        self.config = config if config is not None else HOSMinerConfig(**overrides)
+        self._fitted = False
+        self._X: np.ndarray | None = None
+        self._backend: KnnBackend | None = None
+        self._threshold: float | None = None
+        self._priors: PruningPriors | None = None
+        self._learning_report: LearningReport | None = None
+        self._feature_names: list[str] | None = None
+        self.fit_time_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Fit
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, feature_names: list[str] | None = None) -> "HOSMiner":
+        """Index the dataset, calibrate ``T`` if needed, learn the priors."""
+        start = time.perf_counter()
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 2 or X.shape[1] < 1:
+            raise DataShapeError(
+                f"expected an (n >= 2, d >= 1) matrix, got shape {X.shape}"
+            )
+        if self.config.k > X.shape[0] - 1:
+            raise ConfigurationError(
+                f"k={self.config.k} needs at least k+1={self.config.k + 1} rows, "
+                f"got {X.shape[0]}"
+            )
+        if feature_names is not None and len(feature_names) != X.shape[1]:
+            raise ConfigurationError(
+                f"{len(feature_names)} feature names for {X.shape[1]} columns"
+            )
+
+        self._X = X
+        self._feature_names = list(feature_names) if feature_names else None
+        self._backend = make_backend(
+            self.config.index, X, metric=self.config.metric, **self.config.index_options
+        )
+
+        if self.config.threshold is not None:
+            self._threshold = float(self.config.threshold)
+        else:
+            self._threshold = calibrate_threshold(
+                self._backend,
+                X,
+                self.config.k,
+                quantile=self.config.threshold_quantile,
+                sample=self.config.threshold_sample,
+                seed=self.config.seed,
+            )
+
+        self._learning_report = learn_priors(
+            self._backend,
+            X,
+            self.config.k,
+            self._threshold,
+            self.config.sample_size,
+            seed=self.config.seed,
+            reselect=self.config.reselect,
+            adaptive=self.config.adaptive,
+        )
+        self._priors = self._learning_report.priors
+        self._fitted = True
+        self.fit_time_s = time.perf_counter() - start
+        return self
+
+    # ------------------------------------------------------------------
+    # Fitted state accessors
+    # ------------------------------------------------------------------
+    @property
+    def threshold_(self) -> float:
+        """The operative distance threshold ``T`` (set or calibrated)."""
+        self._require_fitted()
+        return self._threshold  # type: ignore[return-value]
+
+    @property
+    def priors_(self) -> PruningPriors:
+        """Learned (or uniform, when ``sample_size=0``) pruning priors."""
+        self._require_fitted()
+        return self._priors  # type: ignore[return-value]
+
+    @property
+    def learning_report_(self) -> LearningReport:
+        self._require_fitted()
+        return self._learning_report  # type: ignore[return-value]
+
+    @property
+    def backend_(self) -> KnnBackend:
+        self._require_fitted()
+        return self._backend  # type: ignore[return-value]
+
+    @property
+    def d_(self) -> int:
+        self._require_fitted()
+        return self._backend.d  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def extend(self, rows: np.ndarray, refresh: str = "none") -> "HOSMiner":
+        """Append new dataset rows to a fitted miner.
+
+        All four backends support insertion (the trees run their full
+        split/supernode machinery). ``refresh`` controls how much of the
+        fitted state is recomputed afterwards:
+
+        * ``"none"`` (default) — keep the current ``T`` and priors;
+          right for a trickle of new points.
+        * ``"threshold"`` — recalibrate ``T`` (only when it was
+          auto-calibrated; an explicit ``threshold`` is never touched).
+        * ``"full"`` — recalibrate ``T`` and rerun the learning pass.
+        """
+        self._require_fitted()
+        if refresh not in ("none", "threshold", "full"):
+            raise ConfigurationError(
+                f"refresh must be 'none', 'threshold' or 'full', got {refresh!r}"
+            )
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[1] != self.d_:
+            raise DataShapeError(
+                f"new rows have {rows.shape[1]} columns, the miner was fitted on {self.d_}"
+            )
+        for row in rows:
+            self._backend.insert(row)  # type: ignore[union-attr]
+        self._X = np.asarray(self._backend.data)  # type: ignore[union-attr]
+
+        if refresh in ("threshold", "full") and self.config.threshold is None:
+            self._threshold = calibrate_threshold(
+                self._backend,
+                self._X,
+                self.config.k,
+                quantile=self.config.threshold_quantile,
+                sample=self.config.threshold_sample,
+                seed=self.config.seed,
+            )
+        if refresh == "full":
+            self._learning_report = learn_priors(
+                self._backend,
+                self._X,
+                self.config.k,
+                self._threshold,
+                min(self.config.sample_size, self._X.shape[0]),
+                seed=self.config.seed,
+                reselect=self.config.reselect,
+                adaptive=self.config.adaptive,
+            )
+            self._priors = self._learning_report.priors
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, target: "int | np.ndarray") -> OutlyingSubspaceResult:
+        """Dispatch: an integer is a dataset row, a vector an external point."""
+        if isinstance(target, (int, np.integer)):
+            return self.query_row(int(target))
+        return self.query_point(np.asarray(target))
+
+    def query_row(self, row: int) -> OutlyingSubspaceResult:
+        """Outlying subspaces of dataset member *row* (self excluded from
+        its own neighbour sets)."""
+        self._require_fitted()
+        if not 0 <= row < self._X.shape[0]:  # type: ignore[union-attr]
+            raise ConfigurationError(
+                f"row {row} out of range for n={self._X.shape[0]}"  # type: ignore[union-attr]
+            )
+        return self._run_query(self._X[row], exclude=row)  # type: ignore[index]
+
+    def query_point(self, point: np.ndarray) -> OutlyingSubspaceResult:
+        """Outlying subspaces of an external point."""
+        self._require_fitted()
+        return self._run_query(np.asarray(point, dtype=np.float64), exclude=None)
+
+    def query_many(
+        self, targets: "list[int | np.ndarray]"
+    ) -> list[OutlyingSubspaceResult]:
+        """Query a batch of rows and/or points."""
+        return [self.query(target) for target in targets]
+
+    def detect_outliers(
+        self, max_results: int | None = None
+    ) -> list[tuple[int, OutlyingSubspaceResult]]:
+        """Mine the whole dataset: rows with any outlying subspace.
+
+        Under OD monotonicity, a row has an outlying subspace iff its
+        *full-space* OD reaches ``T``, so the screening pass is one cheap
+        kNN per row; only the survivors pay a subspace search. Returns
+        ``(row, result)`` pairs sorted by descending full-space OD
+        (strongest outliers first), truncated to ``max_results``.
+        """
+        self._require_fitted()
+        if max_results is not None and max_results < 1:
+            raise ConfigurationError(
+                f"max_results must be >= 1, got {max_results}"
+            )
+        X = self._X
+        dims = tuple(range(self.d_))
+        flagged: list[tuple[float, int]] = []
+        for row in range(X.shape[0]):  # type: ignore[union-attr]
+            od_full = outlying_degree(
+                self._backend, X[row], self.config.k, dims, exclude=row
+            )
+            if od_full >= self._threshold:  # type: ignore[operator]
+                flagged.append((od_full, row))
+        flagged.sort(key=lambda pair: (-pair[0], pair[1]))
+        if max_results is not None:
+            flagged = flagged[:max_results]
+        return [(row, self.query_row(row)) for _, row in flagged]
+
+    def search_outcome(
+        self, target: "int | np.ndarray"
+    ) -> tuple[SearchOutcome, ODEvaluator]:
+        """Lower-level access: the raw (unfiltered) search outcome and the
+        OD evaluator, for experiments that need the full lattice."""
+        self._require_fitted()
+        if isinstance(target, (int, np.integer)):
+            query, exclude = self._X[int(target)], int(target)  # type: ignore[index]
+        else:
+            query, exclude = np.asarray(target, dtype=np.float64), None
+        evaluator = ODEvaluator(self._backend, query, self.config.k, exclude=exclude)
+        search = DynamicSubspaceSearch(
+            evaluator,
+            self._threshold,
+            self._priors,
+            self.config.reselect,
+            adaptive=self.config.adaptive,
+        )
+        return search.run(), evaluator
+
+    # ------------------------------------------------------------------
+    def _run_query(self, query: np.ndarray, exclude: int | None) -> OutlyingSubspaceResult:
+        evaluator = ODEvaluator(self._backend, query, self.config.k, exclude=exclude)
+        search = DynamicSubspaceSearch(
+            evaluator,
+            self._threshold,
+            self._priors,
+            self.config.reselect,
+            adaptive=self.config.adaptive,
+        )
+        outcome = search.run()
+        minimal = [Subspace(mask, outcome.d) for mask in minimal_masks(outcome.outlying_masks)]
+        # Minimal subspaces are always concretely evaluated (an inferred-
+        # outlying subspace has an outlying subset, so it cannot be
+        # minimal) — their ODs are cache hits, never new kNN work.
+        od_values = {subspace: evaluator.od(subspace.mask) for subspace in minimal}
+        return OutlyingSubspaceResult(
+            query=query,
+            d=outcome.d,
+            k=self.config.k,
+            threshold=outcome.threshold,
+            minimal=minimal,
+            total_outlying=len(outcome.outlying_masks),
+            od_values=od_values,
+            stats=outcome.stats,
+            feature_names=self._feature_names,
+        )
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("call fit(X) before querying")
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"HOSMiner({state}, k={self.config.k}, index={self.config.index!r})"

@@ -1,0 +1,126 @@
+"""Threshold-free subspace ranking (extension beyond the paper).
+
+HOS-Miner's answer depends on a global threshold ``T``. Practitioners
+often want the dual, threshold-free question: *which subspaces make
+this point look most outlying, period?* Raw OD cannot rank across
+dimensionalities — it grows monotonically with every added dimension,
+so the full space would always win. This module ranks by **normalised
+OD**:
+
+* ``"sqrt_dim"`` — ``OD(p, s) / sqrt(|s|)``, the natural scaling for
+  the Euclidean metric (adding an i.i.d. dimension grows distances by
+  ~sqrt((m+1)/m));
+* ``"dim"`` — ``OD(p, s) / |s|``, the natural scaling for L1;
+* ``"zscore"`` — standardise OD within each dimensionality level
+  against the level's own distribution for this point, which makes no
+  metric assumption at all.
+
+Normalised OD is **not monotone**, so the lattice pruning of the main
+engine does not apply; ranking evaluates every subspace (optionally up
+to ``max_level``) and is meant for moderate ``d`` or as a post-hoc
+analysis after a thresholded query (it reuses the evaluator's cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.od import ODEvaluator
+from repro.core.subspace import Subspace, masks_at_level, popcount
+
+__all__ = ["RankedSubspace", "top_n_outlying_subspaces"]
+
+_NORMALISERS = ("sqrt_dim", "dim", "zscore", "none")
+
+
+@dataclass(frozen=True, slots=True)
+class RankedSubspace:
+    """One entry of a normalised-OD ranking."""
+
+    subspace: Subspace
+    od: float
+    score: float
+
+    def __repr__(self) -> str:
+        return (
+            f"RankedSubspace({self.subspace.notation()}, od={self.od:.4g}, "
+            f"score={self.score:.4g})"
+        )
+
+
+def top_n_outlying_subspaces(
+    evaluator: ODEvaluator,
+    n: int,
+    normalize: str = "sqrt_dim",
+    max_level: int | None = None,
+) -> list[RankedSubspace]:
+    """The *n* subspaces with the highest normalised OD for one point.
+
+    Parameters
+    ----------
+    evaluator:
+        OD oracle of the point (a query-warmed one makes this cheap).
+    n:
+        Ranking length.
+    normalize:
+        ``"sqrt_dim"`` (default), ``"dim"``, ``"zscore"`` or ``"none"``
+        (raw OD — degenerates to top levels; provided for completeness).
+    max_level:
+        Optionally restrict the ranking to subspaces of at most this
+        dimensionality (low-dimensional answers are the interpretable
+        ones, and the cost drops combinatorially).
+
+    Ties break by (level, dims) order, so rankings are deterministic.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if normalize not in _NORMALISERS:
+        raise ConfigurationError(
+            f"normalize must be one of {_NORMALISERS}, got {normalize!r}"
+        )
+    d = evaluator.backend.d
+    top = d if max_level is None else max_level
+    if not 1 <= top <= d:
+        raise ConfigurationError(f"max_level must be in [1, {d}], got {max_level}")
+
+    masks: list[int] = []
+    ods: list[float] = []
+    for m in range(1, top + 1):
+        for mask in masks_at_level(d, m):
+            masks.append(mask)
+            ods.append(evaluator.od(mask))
+    od_array = np.asarray(ods)
+    levels = np.array([popcount(mask) for mask in masks])
+
+    if normalize == "none":
+        scores = od_array.copy()
+    elif normalize == "sqrt_dim":
+        scores = od_array / np.sqrt(levels)
+    elif normalize == "dim":
+        scores = od_array / levels
+    else:  # zscore within each level
+        scores = np.empty_like(od_array)
+        for m in range(1, top + 1):
+            members = levels == m
+            values = od_array[members]
+            spread = values.std()
+            if spread == 0.0 or values.size < 2:
+                scores[members] = 0.0
+            else:
+                scores[members] = (values - values.mean()) / spread
+
+    # Deterministic order: score desc, then (level, mask) asc.
+    order = sorted(
+        range(len(masks)), key=lambda i: (-scores[i], levels[i], masks[i])
+    )[:n]
+    return [
+        RankedSubspace(
+            subspace=Subspace(masks[i], d),
+            od=float(od_array[i]),
+            score=float(scores[i]),
+        )
+        for i in order
+    ]

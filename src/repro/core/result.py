@@ -1,0 +1,115 @@
+"""User-facing result of one HOS-Miner query.
+
+Bundles what the demo UI of the paper would show: the minimal outlying
+subspaces (post-filter), the full answer-set size, the OD value behind
+every returned subspace, and the machine-independent search costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.filtering import expand_upward
+from repro.core.search import SearchStats
+from repro.core.subspace import Subspace, is_subset
+
+__all__ = ["OutlyingSubspaceResult"]
+
+
+@dataclass(slots=True)
+class OutlyingSubspaceResult:
+    """Answer to "in which subspaces is this point an outlier?".
+
+    Attributes
+    ----------
+    query:
+        The query point (full-dimensional vector).
+    d, k, threshold:
+        Search parameters.
+    minimal:
+        The filtered answer: minimal outlying subspaces, ascending by
+        (dimensionality, dimensions).
+    total_outlying:
+        Size of the unfiltered upward-closed answer set.
+    od_values:
+        OD of the query point in each minimal subspace.
+    stats:
+        Search cost profile.
+    feature_names:
+        Optional column names used by :meth:`explain`.
+    """
+
+    query: np.ndarray
+    d: int
+    k: int
+    threshold: float
+    minimal: list[Subspace]
+    total_outlying: int
+    od_values: dict[Subspace, float] = field(default_factory=dict)
+    stats: SearchStats = field(default_factory=SearchStats)
+    feature_names: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_outlier(self) -> bool:
+        """The paper's criterion: an empty answer set means the point is
+        not an outlier in any subspace."""
+        return bool(self.minimal)
+
+    @property
+    def refinement_factor(self) -> float:
+        """How much the filter shrank the answer (≥ 1; 1 when empty)."""
+        if not self.minimal:
+            return 1.0
+        return self.total_outlying / len(self.minimal)
+
+    def is_outlying_in(self, subspace: Subspace) -> bool:
+        """Whether *subspace* belongs to the (upward-closed) answer set."""
+        return any(is_subset(kept.mask, subspace.mask) for kept in self.minimal)
+
+    def all_outlying_masks(self) -> set[int]:
+        """Reconstruct the full answer set from the minimal antichain."""
+        return expand_upward([s.mask for s in self.minimal], self.d)
+
+    # ------------------------------------------------------------------
+    def _name(self, dim: int) -> str:
+        if self.feature_names is not None and dim < len(self.feature_names):
+            return self.feature_names[dim]
+        return f"x{dim + 1}"
+
+    def describe_subspace(self, subspace: Subspace) -> str:
+        """Render a subspace with feature names, e.g. ``{height, speed}``."""
+        return "{" + ", ".join(self._name(dim) for dim in subspace.dims) + "}"
+
+    def explain(self, max_rows: int = 10) -> str:
+        """Human-readable multi-line summary (demo-style output)."""
+        lines = []
+        if not self.minimal:
+            lines.append(
+                f"Point is NOT an outlier in any subspace (k={self.k}, "
+                f"T={self.threshold:.4g})."
+            )
+            return "\n".join(lines)
+        lines.append(
+            f"Point is an outlier in {self.total_outlying} subspaces "
+            f"(k={self.k}, T={self.threshold:.4g}); "
+            f"{len(self.minimal)} minimal one(s):"
+        )
+        for subspace in self.minimal[:max_rows]:
+            od = self.od_values.get(subspace)
+            od_text = f"OD={od:.4g}" if od is not None else "OD=inferred"
+            lines.append(
+                f"  {subspace.notation():<16} {self.describe_subspace(subspace):<40} {od_text}"
+            )
+        hidden = len(self.minimal) - max_rows
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"OutlyingSubspaceResult(minimal={[s.notation() for s in self.minimal]}, "
+            f"total={self.total_outlying}, k={self.k}, T={self.threshold:.4g})"
+        )

@@ -1,0 +1,287 @@
+"""The dynamic subspace search engine — Section 3.3 of the paper.
+
+The engine walks the subspace lattice level-set by level-set. At every
+step it computes ``TSF(m, p)`` for each level that still contains
+undecided subspaces and expands the level with the highest expected
+saving. Evaluating one subspace triggers, via the OD monotonicity
+properties, either
+
+* **upward pruning** (``OD >= T``): every superset is immediately known
+  outlying and joins the answer set unevaluated, or
+* **downward pruning** (``OD < T``): every subset is immediately known
+  non-outlying.
+
+Because both inferences are exact consequences of monotonicity the
+search is *lossless*: its answer set equals exhaustive enumeration's
+(property-tested in ``tests/test_search_equivalence.py``). The TSF
+ordering only changes how *few* OD evaluations are needed.
+
+Two re-selection granularities are supported. ``"level"`` (paper
+behaviour) finishes the chosen level before recomputing TSF;
+``"evaluation"`` re-selects after every single OD computation, a finer
+variant used by the ablation experiment E10.
+
+Adaptive priors (extension beyond the paper)
+--------------------------------------------
+The paper applies the *dataset-average* priors ``p_up(m)``/``p_down(m)``
+to every query point. When the learning sample is dominated by inliers
+(the common case for rare-outlier data), those averages say "downward
+pruning is almost certain", the search runs top-down, and a genuinely
+outlying query point — whose upward-closed answer set is huge — gets
+evaluated nearly exhaustively because outlying evaluations high in the
+lattice prune nothing new. The optional ``adaptive=True`` mode keeps the
+learned priors as a Bayesian prior and shrinks them toward the evidence
+the *current* query's search has already produced (per-level decided
+fractions, plus a capped global fraction as weak evidence for untouched
+levels). The update never changes the answer — pruning stays lossless —
+only the expansion order. Experiment E10 quantifies the effect; it is
+off by default for paper fidelity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ConfigurationError, SearchBudgetExceeded
+from repro.core.lattice import SubspaceLattice, SubspaceState
+from repro.core.od import ODEvaluator
+from repro.core.priors import PruningPriors
+from repro.core.savings import TSFInputs, total_saving_factor
+from repro.core.subspace import Subspace
+
+__all__ = ["SearchStats", "SearchOutcome", "DynamicSubspaceSearch"]
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Machine-independent cost profile of one subspace search."""
+
+    od_evaluations: int = 0
+    upward_pruned: int = 0
+    downward_pruned: int = 0
+    #: Order in which levels were selected for expansion.
+    level_schedule: list[int] = field(default_factory=list)
+    #: OD evaluations per level.
+    evaluations_by_level: dict[int, int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def decided_without_evaluation(self) -> int:
+        """Subspaces settled by pruning instead of kNN work."""
+        return self.upward_pruned + self.downward_pruned
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "od_evaluations": self.od_evaluations,
+            "upward_pruned": self.upward_pruned,
+            "downward_pruned": self.downward_pruned,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+@dataclass(slots=True)
+class SearchOutcome:
+    """Everything a finished search knows.
+
+    ``outlying_masks`` contains *all* outlying subspaces (evaluated and
+    inferred); the refinement filter reduces them to the minimal
+    antichain later. The final lattice is kept so the learning pass can
+    read exact per-level outlying fractions.
+    """
+
+    d: int
+    threshold: float
+    outlying_masks: list[int]
+    stats: SearchStats
+    lattice: SubspaceLattice
+
+    @property
+    def total_subspaces(self) -> int:
+        return (1 << self.d) - 1
+
+    @property
+    def evaluated_fraction(self) -> float:
+        """Share of the lattice that needed an actual OD computation."""
+        return self.stats.od_evaluations / self.total_subspaces
+
+    def outlying_subspaces(self) -> list[Subspace]:
+        """Outlying subspaces as wrapper objects, in (level, lex) order."""
+        return sorted(Subspace(mask, self.d) for mask in self.outlying_masks)
+
+    def is_outlier_anywhere(self) -> bool:
+        """Paper Section 1: the point is an outlier iff the answer set is
+        non-empty."""
+        return bool(self.outlying_masks)
+
+
+class DynamicSubspaceSearch:
+    """TSF-ordered lattice search for one query point.
+
+    Parameters
+    ----------
+    evaluator:
+        Cached OD oracle for the query point.
+    threshold:
+        The global distance threshold ``T``.
+    priors:
+        Per-level pruning priors (uniform for learning samples, learned
+        averages for query points).
+    reselect:
+        ``"level"`` (default, paper behaviour) or ``"evaluation"``.
+    adaptive:
+        Enable the adaptive-prior extension (see module docstring).
+    adaptive_prior_weight:
+        Pseudo-count weight of the learned prior in the adaptive blend.
+    max_evaluations:
+        Optional hard budget of OD evaluations; exceeding it raises
+        :class:`~repro.core.exceptions.SearchBudgetExceeded`. A safety
+        valve for interactive use at large ``d`` — the search is exact
+        or it fails loudly, never silently approximate.
+    """
+
+    def __init__(
+        self,
+        evaluator: ODEvaluator,
+        threshold: float,
+        priors: PruningPriors,
+        reselect: str = "level",
+        adaptive: bool = False,
+        adaptive_prior_weight: float = 8.0,
+        max_evaluations: int | None = None,
+    ) -> None:
+        if threshold < 0:
+            raise ConfigurationError(f"threshold must be non-negative, got {threshold}")
+        if priors.d != evaluator.backend.d:
+            raise ConfigurationError(
+                f"priors are for d={priors.d} but the data has d={evaluator.backend.d}"
+            )
+        if reselect not in ("level", "evaluation"):
+            raise ConfigurationError(
+                f"reselect must be 'level' or 'evaluation', got {reselect!r}"
+            )
+        if adaptive_prior_weight <= 0:
+            raise ConfigurationError(
+                f"adaptive_prior_weight must be positive, got {adaptive_prior_weight}"
+            )
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ConfigurationError(
+                f"max_evaluations must be >= 1, got {max_evaluations}"
+            )
+        self.evaluator = evaluator
+        self.threshold = threshold
+        self.priors = priors
+        self.reselect = reselect
+        self.adaptive = adaptive
+        self.adaptive_prior_weight = adaptive_prior_weight
+        self.max_evaluations = max_evaluations
+
+    def run(self) -> SearchOutcome:
+        """Execute the search to completion and return the outcome."""
+        start = time.perf_counter()
+        d = self.evaluator.backend.d
+        lattice = SubspaceLattice(d)
+        stats = SearchStats()
+
+        cursors: dict[int, int] = {}
+        while lattice.has_unknown():
+            level = self._select_level(lattice)
+            stats.level_schedule.append(level)
+            if self.reselect == "level":
+                for mask in lattice.unknown_masks_at_level(level):
+                    # Same-level subspaces cannot prune one another, but the
+                    # guard keeps the loop robust if that ever changes.
+                    if lattice.is_unknown(mask):
+                        self._evaluate(mask, level, lattice, stats)
+            else:
+                mask, position = lattice.first_unknown_at_level(
+                    level, cursors.get(level, 0)
+                )
+                cursors[level] = position
+                self._evaluate(mask, level, lattice, stats)
+
+        stats.wall_time_s = time.perf_counter() - start
+        return SearchOutcome(
+            d=d,
+            threshold=self.threshold,
+            outlying_masks=lattice.outlying_masks(),
+            stats=stats,
+            lattice=lattice,
+        )
+
+    # ------------------------------------------------------------------
+    def _select_level(self, lattice: SubspaceLattice) -> int:
+        """Level with the highest TSF; ties favour the lower level, which
+        keeps the schedule deterministic and biases toward the small
+        subspaces the final filter wants anyway."""
+        best_level = -1
+        best_tsf = -1.0
+        for m in lattice.levels_with_unknown():
+            p_up, p_down = self._effective_priors(m, lattice)
+            tsf = total_saving_factor(
+                TSFInputs(
+                    m=m,
+                    d=lattice.d,
+                    p_up=p_up,
+                    p_down=p_down,
+                    remaining_below=lattice.remaining_workload_below(m),
+                    remaining_above=lattice.remaining_workload_above(m),
+                )
+            )
+            if tsf > best_tsf:
+                best_level, best_tsf = m, tsf
+        return best_level
+
+    def _effective_priors(self, m: int, lattice: SubspaceLattice) -> tuple[float, float]:
+        """Priors for level ``m``: learned values, optionally shrunk toward
+        the evidence produced so far by this very search.
+
+        The blend is a conjugate-style update: the learned prior counts as
+        ``adaptive_prior_weight`` pseudo-observations, each already-decided
+        subspace at level ``m`` counts as one real observation, and the
+        global decided fraction contributes up to ``2 d`` weak observations
+        so untouched levels still react when the search discovers the
+        query point is (or is not) broadly outlying.
+        """
+        p_up, p_down = self.priors.at(m)
+        if not self.adaptive:
+            return p_up, p_down
+        level_decided, level_outlying = lattice.decided_stats(m)
+        global_decided, global_outlying = lattice.decided_stats_total()
+        global_weight = min(global_decided, 2 * lattice.d)
+        global_fraction = (
+            global_outlying / global_decided if global_decided else 0.0
+        )
+        weight = self.adaptive_prior_weight
+        estimate = (
+            weight * p_up + level_outlying + global_weight * global_fraction
+        ) / (weight + level_decided + global_weight)
+        p_up_new, p_down_new = estimate, 1.0 - estimate
+        # Preserve the structural boundary conventions of Section 3.2.
+        if m == 1:
+            p_down_new = 0.0
+        if m == lattice.d:
+            p_up_new = 0.0
+        return p_up_new, p_down_new
+
+    def _evaluate(
+        self, mask: int, level: int, lattice: SubspaceLattice, stats: SearchStats
+    ) -> None:
+        if (
+            self.max_evaluations is not None
+            and stats.od_evaluations >= self.max_evaluations
+        ):
+            raise SearchBudgetExceeded(
+                f"search exceeded its budget of {self.max_evaluations} OD "
+                f"evaluations with {sum(lattice.remaining_count(m) for m in lattice.levels_with_unknown())} "
+                "subspaces still undecided"
+            )
+        od_value = self.evaluator.od(mask)
+        stats.od_evaluations += 1
+        stats.evaluations_by_level[level] = stats.evaluations_by_level.get(level, 0) + 1
+        if od_value >= self.threshold:
+            lattice.mark_evaluated(mask, outlying=True)
+            stats.upward_pruned += lattice.prune_supersets(mask)
+        else:
+            lattice.mark_evaluated(mask, outlying=False)
+            stats.downward_pruned += lattice.prune_subsets(mask)

@@ -1,0 +1,38 @@
+"""Datasets: synthetic generators, deterministic loaders, scaling."""
+
+from repro.data.loaders import (
+    ATHLETE_FEATURES,
+    PATIENT_FEATURES,
+    dataset_to_csv,
+    load_athletes,
+    load_csv,
+    load_patients,
+)
+from repro.data.normalize import MinMaxScaler, ZScoreScaler, minmax, zscore
+from repro.data.synthetic import (
+    Dataset,
+    make_correlated,
+    make_figure1_data,
+    make_gaussian_mixture,
+    make_planted_outliers,
+    make_uniform_noise,
+)
+
+__all__ = [
+    "ATHLETE_FEATURES",
+    "Dataset",
+    "MinMaxScaler",
+    "PATIENT_FEATURES",
+    "ZScoreScaler",
+    "dataset_to_csv",
+    "load_athletes",
+    "load_csv",
+    "load_patients",
+    "make_correlated",
+    "make_figure1_data",
+    "make_gaussian_mixture",
+    "make_planted_outliers",
+    "make_uniform_noise",
+    "minmax",
+    "zscore",
+]

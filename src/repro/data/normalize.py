@@ -1,0 +1,82 @@
+"""Feature scaling for heterogeneous attributes.
+
+The OD measure adds distances across dimensions, so wildly different
+attribute scales (0.25 s reaction times vs 180 mg/dL cholesterol) would
+let one attribute dominate every subspace. The loaders' examples
+normalise first; both scalers follow the fit/transform convention so a
+query point can be mapped into the fitted space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import DataShapeError, NotFittedError
+
+__all__ = ["ZScoreScaler", "MinMaxScaler", "zscore", "minmax"]
+
+
+class _FittedScaler:
+    """Shared fit/transform plumbing."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "_FittedScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise DataShapeError(f"expected a non-empty (n, d) matrix, got shape {X.shape}")
+        self._fit(X)
+        self._fitted = True
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("call fit(X) before transform")
+        return self._transform(np.asarray(X, dtype=np.float64))
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def _fit(self, X: np.ndarray) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ZScoreScaler(_FittedScaler):
+    """Standardise every column to zero mean, unit variance.
+
+    Constant columns (zero variance) map to zero rather than NaN.
+    """
+
+    def _fit(self, X: np.ndarray) -> None:
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std == 0.0, 1.0, std)
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        return (X - self.mean_) / self.std_
+
+
+class MinMaxScaler(_FittedScaler):
+    """Rescale every column to [0, 1] (constant columns map to 0)."""
+
+    def _fit(self, X: np.ndarray) -> None:
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        self.span_ = np.where(span == 0.0, 1.0, span)
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        return (X - self.min_) / self.span_
+
+
+def zscore(X: np.ndarray) -> np.ndarray:
+    """One-shot z-score normalisation."""
+    return ZScoreScaler().fit_transform(X)
+
+
+def minmax(X: np.ndarray) -> np.ndarray:
+    """One-shot min-max normalisation."""
+    return MinMaxScaler().fit_transform(X)

@@ -1,0 +1,59 @@
+"""Indexing substrate: subspace-capable kNN backends.
+
+Three interchangeable backends implement :class:`~repro.index.base.KnnBackend`:
+
+* :class:`LinearScanIndex` — exact vectorised brute force (default);
+* :class:`RStarTree` — the classic R*-tree;
+* :class:`XTree` — the paper's high-dimensional index [2], an R*-tree
+  with supernodes and overlap-aware directory splits.
+
+All three answer kNN and range queries over an arbitrary *subspace*
+(dimension subset) of the indexed data, which is exactly the operation
+HOS-Miner's outlying-degree evaluation needs.
+"""
+
+from repro.index.base import KnnBackend
+from repro.index.heap import KnnHeap
+from repro.index.linear import LinearScanIndex
+from repro.index.mbr import MBR
+from repro.index.node import Node
+from repro.index.rstar import RStarTree
+from repro.index.stats import IndexStats
+from repro.index.vafile import VAFile
+from repro.index.xtree import XTree
+
+__all__ = [
+    "KnnBackend",
+    "KnnHeap",
+    "LinearScanIndex",
+    "MBR",
+    "Node",
+    "RStarTree",
+    "IndexStats",
+    "VAFile",
+    "XTree",
+    "make_backend",
+]
+
+
+def make_backend(name: str, X, metric="euclidean", **kwargs) -> KnnBackend:
+    """Build a kNN backend by registry name.
+
+    ``name`` is one of ``"linear"``, ``"rstar"``, ``"xtree"``,
+    ``"vafile"``; extra keyword arguments are forwarded to the backend
+    constructor.
+    """
+    from repro.core.exceptions import ConfigurationError
+
+    registry = {
+        "linear": LinearScanIndex,
+        "rstar": RStarTree,
+        "xtree": XTree,
+        "vafile": VAFile,
+    }
+    key = name.strip().lower()
+    if key not in registry:
+        raise ConfigurationError(
+            f"unknown index backend {name!r}; known: {', '.join(sorted(registry))}"
+        )
+    return registry[key](X, metric=metric, **kwargs)

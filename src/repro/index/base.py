@@ -1,0 +1,74 @@
+"""Common interface of every kNN backend.
+
+HOS-Miner evaluates ``OD(p, s)`` for thousands of ``(point, subspace)``
+pairs, so the kNN search is abstracted behind one small protocol with
+three interchangeable implementations:
+
+* :class:`repro.index.linear.LinearScanIndex` — vectorised brute force,
+  the speed default in pure Python;
+* :class:`repro.index.rstar.RStarTree` — the classic R*-tree;
+* :class:`repro.index.xtree.XTree` — the paper's substrate [2].
+
+All backends answer *subspace* queries: distances are computed over an
+arbitrary subset ``dims`` of the indexed dimensions. The tree backends
+achieve this by projecting MINDIST onto ``dims``, which stays a valid
+lower bound, so branch-and-bound correctness is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.index.stats import IndexStats
+
+__all__ = ["KnnBackend"]
+
+
+@runtime_checkable
+class KnnBackend(Protocol):
+    """Structural interface of a subspace-capable kNN index."""
+
+    #: Cumulative logical cost counters.
+    stats: IndexStats
+    #: Number of indexed points.
+    size: int
+    #: Dimensionality of the indexed points.
+    d: int
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        dims: Sequence[int],
+        exclude: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """k nearest neighbours of *query* within subspace *dims*.
+
+        Parameters
+        ----------
+        query:
+            Full-dimensional query vector (projection happens inside).
+        k:
+            Number of neighbours.
+        dims:
+            Sorted 0-based dimension indices of the subspace.
+        exclude:
+            Optional row index to skip — used when the query point is a
+            member of the indexed dataset.
+
+        Returns
+        -------
+        (indices, distances), both length ``min(k, available)``, sorted
+        by ascending distance with ties broken by row index.
+        """
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        radius: float,
+        dims: Sequence[int],
+        exclude: int | None = None,
+    ) -> np.ndarray:
+        """Row indices within *radius* of *query* in subspace *dims*."""

@@ -1,0 +1,74 @@
+"""A bounded max-heap of (distance, id) pairs for k-nearest-neighbour search.
+
+Keeps the *k smallest* distances seen so far; the root is always the
+current k-th best, so tree traversals can prune any branch whose MINDIST
+exceeds :meth:`KnnHeap.bound`. Python's :mod:`heapq` is a min-heap, so
+entries are stored as ``(-distance, -item)``: negating the distance
+turns it into a max-heap, and negating the item id makes equal-distance
+ties evict the *largest* id first, which reproduces the linear scan's
+deterministic ``(distance, index)`` ordering exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["KnnHeap"]
+
+
+class KnnHeap:
+    """Fixed-capacity container of the k closest candidates.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours to retain; must be positive.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """Whether k candidates have been collected."""
+        return len(self._heap) >= self.k
+
+    def bound(self) -> float:
+        """Current pruning bound: the k-th smallest distance so far,
+        or ``+inf`` while fewer than k candidates are held."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, distance: float, item: int) -> bool:
+        """Consider a candidate; returns ``True`` if it was retained.
+
+        A candidate replaces the current worst when it is strictly
+        closer, or equally close with a smaller id.
+        """
+        candidate = (-distance, -item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, candidate)
+            return True
+        if candidate > self._heap[0]:
+            heapq.heapreplace(self._heap, candidate)
+            return True
+        return False
+
+    def items(self) -> list[tuple[int, float]]:
+        """Retained ``(item, distance)`` pairs, closest first.
+
+        Ties are broken by ascending item id, matching the linear scan.
+        """
+        decoded = sorted((-neg_d, -neg_item) for neg_d, neg_item in self._heap)
+        return [(item, distance) for distance, item in decoded]

@@ -1,0 +1,144 @@
+"""Vectorised linear-scan kNN backend.
+
+The reference backend: exact, simple, and — thanks to numpy — usually
+the fastest option in pure Python for the dataset sizes of the 2004
+demo. The tree backends are benched against it in experiment E8 on
+logical-I/O metrics, where they win; on raw wall-time the scan wins
+because its inner loop is C. Both facts are reported honestly in
+EXPERIMENTS.md.
+
+Cost accounting mirrors a sequential scan of a disk-resident file: one
+node access per :data:`BLOCK_ROWS` rows touched plus one distance
+computation per row.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, DataShapeError
+from repro.core.metrics import Metric, get_metric
+from repro.index.stats import IndexStats
+
+__all__ = ["LinearScanIndex", "BLOCK_ROWS"]
+
+#: Rows per simulated disk block for node-access accounting.
+BLOCK_ROWS = 64
+
+
+class LinearScanIndex:
+    """Exact kNN / range search by full vectorised scan.
+
+    Parameters
+    ----------
+    X:
+        Data matrix, shape ``(n, d)``; copied to float64 and kept
+        contiguous for fast fancy-indexing on dimension subsets.
+    metric:
+        Metric instance or registry name (default ``"euclidean"``).
+    """
+
+    def __init__(self, X: np.ndarray, metric: "Metric | str" = "euclidean") -> None:
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0 or X.shape[1] == 0:
+            raise DataShapeError(f"expected a non-empty (n, d) matrix, got shape {X.shape}")
+        self._X = X
+        self.metric = get_metric(metric)
+        self.stats = IndexStats()
+
+    # -- KnnBackend interface ------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._X.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self._X.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """Read-only view of the indexed matrix."""
+        view = self._X.view()
+        view.flags.writeable = False
+        return view
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        dims: Sequence[int],
+        exclude: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        query, dims = self._validate(query, dims)
+        available = self.size - (1 if exclude is not None else 0)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if k > available:
+            raise ConfigurationError(
+                f"k={k} neighbours requested but only {available} candidate rows exist"
+            )
+
+        distances = self.metric.pairwise(self._X, query, dims)
+        self._account_scan()
+        if exclude is not None:
+            distances = distances.copy()
+            distances[exclude] = np.inf
+
+        # argpartition gives the k smallest in O(n); a final stable sort of
+        # just k entries yields the deterministic (distance, index) order.
+        candidate = np.argpartition(distances, k - 1)[:k]
+        order = np.lexsort((candidate, distances[candidate]))
+        indices = candidate[order]
+        self.stats.knn_queries += 1
+        return indices, distances[indices]
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        radius: float,
+        dims: Sequence[int],
+        exclude: int | None = None,
+    ) -> np.ndarray:
+        query, dims = self._validate(query, dims)
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        distances = self.metric.pairwise(self._X, query, dims)
+        self._account_scan()
+        hits = distances <= radius
+        if exclude is not None:
+            hits[exclude] = False
+        self.stats.range_queries += 1
+        return np.flatnonzero(hits)
+
+    def insert(self, point: np.ndarray) -> int:
+        """Append a point to the scanned matrix; returns its row id."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.d,):
+            raise DataShapeError(
+                f"point must be a length-{self.d} vector, got shape {point.shape}"
+            )
+        self._X = np.ascontiguousarray(np.vstack([self._X, point[None, :]]))
+        return self.size - 1
+
+    # -- internals ------------------------------------------------------------
+    def _validate(self, query: np.ndarray, dims: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.d,):
+            raise DataShapeError(
+                f"query must be a length-{self.d} vector, got shape {query.shape}"
+            )
+        dims = np.asarray(dims, dtype=np.intp)
+        if dims.size == 0:
+            raise ConfigurationError("a query subspace needs at least one dimension")
+        if dims.min() < 0 or dims.max() >= self.d:
+            raise ConfigurationError(f"dims {dims.tolist()} out of range for d={self.d}")
+        return query, dims
+
+    def _account_scan(self) -> None:
+        self.stats.distance_computations += self.size
+        self.stats.node_accesses += -(-self.size // BLOCK_ROWS)  # ceil division
+
+    def __repr__(self) -> str:
+        return f"LinearScanIndex(n={self.size}, d={self.d}, metric={self.metric.name})"

@@ -1,0 +1,161 @@
+"""Minimum bounding rectangles (MBRs) for the R*-tree / X-tree substrate.
+
+An MBR is the axis-aligned box ``[lower, upper]`` enclosing a set of
+points or child boxes. All geometry the tree algorithms need lives here:
+area/margin (for the R* split heuristics), overlap volume and the
+normalised overlap ratio (the X-tree split-or-supernode decision), and
+union/enlargement (for ChooseSubtree).
+
+Boxes are stored as two float64 numpy arrays. Degenerate boxes (points)
+are legal: ``lower == upper``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import DataShapeError
+
+__all__ = ["MBR"]
+
+
+class MBR:
+    """A mutable axis-aligned bounding box.
+
+    Mutability is deliberate: tree maintenance constantly tightens and
+    extends boxes in place, and copying ``d``-vectors on every insert
+    dominated profiles of an earlier immutable design.
+    """
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray) -> None:
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise DataShapeError(
+                f"MBR bounds must be equal-length vectors, got {lower.shape} / {upper.shape}"
+            )
+        if np.any(lower > upper):
+            raise DataShapeError("MBR lower bound exceeds upper bound")
+        self.lower = lower
+        self.upper = upper
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "MBR":
+        """Degenerate box around a single point."""
+        point = np.asarray(point, dtype=np.float64)
+        return cls(point.copy(), point.copy())
+
+    @classmethod
+    def union_of(cls, boxes: Iterable["MBR"]) -> "MBR":
+        """Smallest box containing every input box."""
+        boxes = list(boxes)
+        if not boxes:
+            raise DataShapeError("cannot take the union of zero boxes")
+        lower = boxes[0].lower.copy()
+        upper = boxes[0].upper.copy()
+        for box in boxes[1:]:
+            np.minimum(lower, box.lower, out=lower)
+            np.maximum(upper, box.upper, out=upper)
+        return cls(lower, upper)
+
+    def copy(self) -> "MBR":
+        return MBR(self.lower.copy(), self.upper.copy())
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def d(self) -> int:
+        """Dimensionality of the box."""
+        return self.lower.shape[0]
+
+    def area(self) -> float:
+        """Volume of the box (product of extents)."""
+        return float(np.prod(self.upper - self.lower))
+
+    def margin(self) -> float:
+        """Sum of edge lengths — the R* split axis criterion."""
+        return float(np.sum(self.upper - self.lower))
+
+    def center(self) -> np.ndarray:
+        return (self.lower + self.upper) * 0.5
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return bool(np.all(point >= self.lower) and np.all(point <= self.upper))
+
+    def contains_box(self, other: "MBR") -> bool:
+        return bool(np.all(other.lower >= self.lower) and np.all(other.upper <= self.upper))
+
+    def intersects(self, other: "MBR") -> bool:
+        return bool(np.all(self.lower <= other.upper) and np.all(other.lower <= self.upper))
+
+    def intersection_volume(self, other: "MBR") -> float:
+        """Volume of the overlap region (0.0 when disjoint)."""
+        extents = np.minimum(self.upper, other.upper) - np.maximum(self.lower, other.lower)
+        if np.any(extents < 0):
+            return 0.0
+        return float(np.prod(extents))
+
+    def overlap_ratio(self, other: "MBR") -> float:
+        """Normalised overlap used by the X-tree split test:
+
+        ``||A ∩ B|| / ||A ∪ B||`` (intersection volume over the volume of
+        the union *of the two boxes' own volumes*, inclusion–exclusion).
+        Returns 0 for disjoint boxes and 1 for identical non-degenerate
+        ones. Degenerate unions (zero total volume) count as fully
+        overlapping only when the boxes intersect.
+        """
+        intersection = self.intersection_volume(other)
+        union = self.area() + other.area() - intersection
+        if union <= 0.0:
+            return 1.0 if self.intersects(other) else 0.0
+        return intersection / union
+
+    # -- mutation ---------------------------------------------------------
+    def extend_point(self, point: np.ndarray) -> None:
+        """Grow in place to cover *point*."""
+        np.minimum(self.lower, point, out=self.lower)
+        np.maximum(self.upper, point, out=self.upper)
+
+    def extend_box(self, other: "MBR") -> None:
+        """Grow in place to cover *other*."""
+        np.minimum(self.lower, other.lower, out=self.lower)
+        np.maximum(self.upper, other.upper, out=self.upper)
+
+    def union(self, other: "MBR") -> "MBR":
+        """New box covering both operands."""
+        return MBR(
+            np.minimum(self.lower, other.lower),
+            np.maximum(self.upper, other.upper),
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Extra volume needed to also cover *other* — ChooseSubtree cost."""
+        return self.union(other).area() - self.area()
+
+    def overlap_enlargement(self, other: "MBR", siblings: Sequence["MBR"]) -> float:
+        """Increase in summed overlap with *siblings* if *other* is added.
+
+        This is the R* leaf-level ChooseSubtree criterion.
+        """
+        grown = self.union(other)
+        before = sum(self.intersection_volume(sib) for sib in siblings)
+        after = sum(grown.intersection_volume(sib) for sib in siblings)
+        return after - before
+
+    def __repr__(self) -> str:
+        return f"MBR(lower={self.lower.tolist()}, upper={self.upper.tolist()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.lower, other.lower)
+            and np.array_equal(self.upper, other.upper)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - boxes are not dict keys
+        return hash((self.lower.tobytes(), self.upper.tobytes()))

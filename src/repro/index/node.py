@@ -1,0 +1,128 @@
+"""Tree nodes shared by the R*-tree and the X-tree.
+
+One node class serves both leaf and directory roles:
+
+* a **leaf** (``level == 0``) stores row indices into the tree's data
+  matrix;
+* a **directory node** (``level > 0``) stores child nodes.
+
+X-tree extensions live on the same class: ``blocks`` is the supernode
+width (a supernode occupies ``blocks`` consecutive "disk blocks", i.e.
+its capacity is ``blocks * max_entries``), and ``split_dims`` records
+the split history — the set of dimensions along which splits created
+this node's region, used for introspection and tested against the
+overlap-minimal split scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.exceptions import IndexError_
+from repro.index.mbr import MBR
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A leaf or directory node of an R*-/X-tree.
+
+    Attributes
+    ----------
+    level:
+        Height above the leaves (0 = leaf).
+    rows:
+        Row indices stored here (leaves only).
+    children:
+        Child nodes (directory nodes only).
+    mbr:
+        Bounding box of everything below this node; ``None`` while empty.
+    blocks:
+        Supernode width; 1 for a normal node.
+    split_dims:
+        Dimensions used by historical splits of this subtree's region.
+    """
+
+    __slots__ = ("level", "rows", "children", "mbr", "blocks", "split_dims")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.rows: list[int] = []
+        self.children: list["Node"] = []
+        self.mbr: Optional[MBR] = None
+        self.blocks = 1
+        self.split_dims: frozenset[int] = frozenset()
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def is_supernode(self) -> bool:
+        return self.blocks > 1
+
+    def entry_count(self) -> int:
+        """Number of stored entries (rows for leaves, children otherwise)."""
+        return len(self.rows) if self.is_leaf else len(self.children)
+
+    def capacity(self, max_entries: int) -> int:
+        """Current capacity given the base block capacity."""
+        return self.blocks * max_entries
+
+    def overflows(self, max_entries: int) -> bool:
+        return self.entry_count() > self.capacity(max_entries)
+
+    # -- geometry -------------------------------------------------------------
+    def recompute_mbr(self, X: np.ndarray) -> None:
+        """Tighten this node's MBR from its entries (non-recursive)."""
+        if self.is_leaf:
+            if not self.rows:
+                self.mbr = None
+                return
+            points = X[self.rows]
+            self.mbr = MBR(points.min(axis=0), points.max(axis=0))
+        else:
+            if not self.children:
+                self.mbr = None
+                return
+            self.mbr = MBR.union_of(
+                child.mbr for child in self.children if child.mbr is not None
+            )
+
+    def child_mbrs(self) -> list[MBR]:
+        """MBRs of the children (directory nodes only)."""
+        boxes = []
+        for child in self.children:
+            if child.mbr is None:
+                raise IndexError_("directory node holds a child with no MBR")
+            boxes.append(child.mbr)
+        return boxes
+
+    # -- traversal helpers -------------------------------------------------------
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield this node and every descendant, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def subtree_rows(self) -> list[int]:
+        """Every data row stored beneath this node."""
+        rows: list[int] = []
+        for node in self.iter_subtree():
+            if node.is_leaf:
+                rows.extend(node.rows)
+        return rows
+
+    def height(self) -> int:
+        """Height of the subtree rooted here (leaf = 1)."""
+        return self.level + 1
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else ("supernode" if self.is_supernode else "dir")
+        return f"Node({kind}, level={self.level}, entries={self.entry_count()}, blocks={self.blocks})"

@@ -1,0 +1,65 @@
+"""Machine-independent cost counters for the kNN backends.
+
+The original X-tree evaluation reports page accesses; we run in memory,
+so the equivalent logical costs are *node accesses* (one per visited
+tree node — a disk-resident tree would pay one page read each) and
+*distance computations* (dominant CPU cost of a scan). Every backend
+increments the same counter object so experiment E8 can compare
+backends on identical axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IndexStats"]
+
+
+@dataclass(slots=True)
+class IndexStats:
+    """Cumulative logical costs of one index instance.
+
+    Attributes
+    ----------
+    node_accesses:
+        Tree nodes visited (directory + leaf). Linear scan counts one
+        access per *block* of rows, mirroring sequential page reads.
+    distance_computations:
+        Point-to-point distance evaluations.
+    mindist_computations:
+        Box lower-bound evaluations (tree backends only).
+    knn_queries / range_queries:
+        Number of top-level queries answered.
+    """
+
+    node_accesses: int = 0
+    distance_computations: int = 0
+    mindist_computations: int = 0
+    knn_queries: int = 0
+    range_queries: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Zero every counter (including backend-specific extras)."""
+        self.node_accesses = 0
+        self.distance_computations = 0
+        self.mindist_computations = 0
+        self.knn_queries = 0
+        self.range_queries = 0
+        self.extra.clear()
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment a backend-specific named counter."""
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat dict of all counters — convenient for bench tables."""
+        data = {
+            "node_accesses": self.node_accesses,
+            "distance_computations": self.distance_computations,
+            "mindist_computations": self.mindist_computations,
+            "knn_queries": self.knn_queries,
+            "range_queries": self.range_queries,
+        }
+        data.update(self.extra)
+        return data

@@ -1,0 +1,173 @@
+"""X-tree: the paper's high-dimensional index substrate [2].
+
+Berchtold, Keim & Kriegel (VLDB'96) observed that R*-style splits of
+*directory* nodes produce heavily overlapping regions as dimensionality
+grows, which destroys query performance. The X-tree therefore makes a
+three-way decision on directory overflow:
+
+1. try the **topological (R*) split**; accept it when the two result
+   regions overlap by at most ``max_overlap`` (the paper derives ~20%);
+2. otherwise try an **overlap-minimal split**: partition along one
+   dimension so the halves barely (or never) overlap. The original uses
+   the *split history* to locate such a dimension cheaply; we scan all
+   dimensions exhaustively, which finds an overlap-minimal balanced
+   split whenever one exists (a complete decision procedure for the
+   same rule — see DESIGN.md, substitutions);
+3. if the minimal split would be unbalanced (one side under
+   ``min_fanout``), **do not split**: extend the node into a
+   **supernode** spanning one more block.
+
+Leaf nodes always split topologically, as in the original. Forced
+reinsert is disabled (the X-tree inherits R*-tree algorithms minus
+reinsertion, whose benefit vanishes once supernodes absorb bad splits).
+
+Split history is additionally recorded on every node (``split_dims``)
+for introspection and tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.metrics import Metric
+from repro.index.node import Node
+from repro.index.rstar import (
+    RStarTree,
+    _box_overlap_volume,
+    _distribution_geometry,
+    _valid_splits,
+)
+
+__all__ = ["XTree", "DEFAULT_MAX_OVERLAP", "DEFAULT_MIN_FANOUT"]
+
+#: Overlap ratio above which a topological directory split is rejected.
+DEFAULT_MAX_OVERLAP = 0.2
+#: Minimum fraction of entries each side of an overlap-minimal split must keep.
+DEFAULT_MIN_FANOUT = 0.35
+
+
+class XTree(RStarTree):
+    """X-tree index over a static data matrix.
+
+    Parameters
+    ----------
+    X, metric, max_entries, min_fill, bulk_load:
+        As in :class:`~repro.index.rstar.RStarTree`.
+    max_overlap:
+        Directory-split overlap tolerance (paper: 0.2).
+    min_fanout:
+        Balance floor for the overlap-minimal split (paper: 0.35).
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        metric: "Metric | str" = "euclidean",
+        max_entries: int = 32,
+        min_fill: float = 0.4,
+        max_overlap: float = DEFAULT_MAX_OVERLAP,
+        min_fanout: float = DEFAULT_MIN_FANOUT,
+        bulk_load: str | None = None,
+    ) -> None:
+        if not 0.0 <= max_overlap <= 1.0:
+            raise ConfigurationError(f"max_overlap must be in [0, 1], got {max_overlap}")
+        if not 0.0 < min_fanout <= 0.5:
+            raise ConfigurationError(f"min_fanout must be in (0, 0.5], got {min_fanout}")
+        self.max_overlap = max_overlap
+        self.min_fanout = min_fanout
+        super().__init__(
+            X,
+            metric=metric,
+            max_entries=max_entries,
+            min_fill=min_fill,
+            reinsert_fraction=0.0,  # X-tree: no forced reinsert
+            bulk_load=bulk_load,
+        )
+
+    # ------------------------------------------------------------------
+    # Supernode bookkeeping
+    # ------------------------------------------------------------------
+    def supernode_count(self) -> int:
+        """Number of directory nodes currently wider than one block."""
+        return sum(1 for node in self.root.iter_subtree() if node.is_supernode)
+
+    def max_supernode_blocks(self) -> int:
+        """Width (in blocks) of the largest supernode; 1 when none exist."""
+        return max(node.blocks for node in self.root.iter_subtree())
+
+    # ------------------------------------------------------------------
+    # Overflow handling (directory nodes get the X-tree treatment)
+    # ------------------------------------------------------------------
+    def _split_node(self, path: list[Node], index: int) -> None:
+        node = path[index]
+        if node.is_leaf:
+            super()._split_node(path, index)
+            return
+
+        boxes = self._entry_boxes(node)
+        group_a, group_b, axis = self._topological_split(boxes)
+        if self._groups_overlap_ratio(boxes, group_a, group_b) <= self.max_overlap:
+            self._apply_split(path, index, group_a, group_b, axis)
+            return
+
+        minimal = self._overlap_minimal_split(boxes)
+        if minimal is not None:
+            group_a, group_b, axis = minimal
+            self._apply_split(path, index, group_a, group_b, axis)
+            return
+
+        # No acceptable split exists: absorb the overflow into a supernode.
+        node.blocks += 1
+        self.stats.bump("supernodes_extended")
+        if node.blocks == 2:
+            self.stats.bump("supernodes_created")
+
+    def _groups_overlap_ratio(
+        self, boxes, group_a: list[int], group_b: list[int]
+    ) -> float:
+        from repro.index.mbr import MBR
+
+        mbr_a = MBR.union_of(boxes[i] for i in group_a)
+        mbr_b = MBR.union_of(boxes[i] for i in group_b)
+        return mbr_a.overlap_ratio(mbr_b)
+
+    def _overlap_minimal_split(
+        self, boxes
+    ) -> tuple[list[int], list[int], int] | None:
+        """Exhaustive scan for the least-overlapping balanced split.
+
+        Tries every dimension, sorting entries by lower bound, and every
+        balanced cut position; keeps the candidate with the smallest
+        overlap ratio. Returns ``None`` when even the best candidate
+        exceeds ``max_overlap`` — the caller then builds a supernode.
+        """
+        lowers = np.array([box.lower for box in boxes])
+        uppers = np.array([box.upper for box in boxes])
+        total = len(boxes)
+        min_entries = max(1, int(math.ceil(self.min_fanout * total)))
+        if total < 2 * min_entries:
+            return None
+
+        best_ratio = math.inf
+        best: tuple[list[int], list[int], int] | None = None
+        for axis in range(self.d):
+            order = np.argsort(lowers[:, axis], kind="stable")
+            _, __, (pl, pu), (sl, su) = _distribution_geometry(lowers[order], uppers[order])
+            for split in _valid_splits(total, min_entries):
+                la, ua = pl[split - 1], pu[split - 1]
+                lb, ub = sl[split], su[split]
+                intersection = _box_overlap_volume(la, ua, lb, ub)
+                union = float(np.prod(ua - la) + np.prod(ub - lb)) - intersection
+                if union <= 0.0:
+                    ratio = 0.0 if intersection == 0.0 else 1.0
+                else:
+                    ratio = intersection / union
+                if ratio < best_ratio:
+                    best_ratio = ratio
+                    best = (order[:split].tolist(), order[split:].tolist(), axis)
+        if best is None or best_ratio > self.max_overlap:
+            return None
+        return best

@@ -1,0 +1,40 @@
+"""Shared fixtures for the HOS-Miner test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miner import HOSMiner
+from repro.data.synthetic import make_planted_outliers
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_gaussian() -> np.ndarray:
+    """300 x 5 Gaussian blob with one extreme row (row 0, dims 0-1)."""
+    generator = np.random.default_rng(7)
+    X = generator.normal(size=(300, 5))
+    X[0, 0] += 9.0
+    X[0, 1] += 9.0
+    return X
+
+
+@pytest.fixture(scope="session")
+def planted_dataset():
+    """Deterministic planted-outlier dataset used across integration tests."""
+    return make_planted_outliers(
+        n=400, d=6, n_outliers=3, subspace_dims=2, displacement=9.0, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_miner(planted_dataset) -> HOSMiner:
+    """One shared fitted miner (fitting costs a learning pass)."""
+    return HOSMiner(k=4, sample_size=5, threshold_quantile=0.99).fit(
+        planted_dataset.X
+    )

@@ -1,0 +1,172 @@
+"""Public API surface, smaller helpers, and bookkeeping types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.workloads import planted_workload
+from repro.core.search import SearchOutcome, SearchStats
+from repro.index.node import Node
+from repro.index.stats import IndexStats
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_baselines_exports_resolve(self):
+        import repro.baselines as baselines
+
+        for name in baselines.__all__:
+            assert getattr(baselines, name) is not None
+
+    def test_index_exports_resolve(self):
+        import repro.index as index
+
+        for name in index.__all__:
+            assert getattr(index, name) is not None
+
+    def test_data_exports_resolve(self):
+        import repro.data as data
+
+        for name in data.__all__:
+            assert getattr(data, name) is not None
+
+    def test_make_backend_rejects_unknown(self):
+        from repro import make_backend
+        from repro.core.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_backend("kdtree", np.zeros((5, 2)))
+
+
+class TestSearchOutcomeHelpers:
+    def _outcome(self):
+        from repro.core.lattice import SubspaceLattice
+
+        lattice = SubspaceLattice(3)
+        lattice.mark_evaluated(0b001, outlying=True)
+        lattice.prune_supersets(0b001)
+        return SearchOutcome(
+            d=3,
+            threshold=1.0,
+            outlying_masks=lattice.outlying_masks(),
+            stats=SearchStats(od_evaluations=1, upward_pruned=3),
+            lattice=lattice,
+        )
+
+    def test_total_and_fraction(self):
+        outcome = self._outcome()
+        assert outcome.total_subspaces == 7
+        assert outcome.evaluated_fraction == pytest.approx(1 / 7)
+
+    def test_outlying_subspaces_sorted(self):
+        subspaces = self._outcome().outlying_subspaces()
+        levels = [s.dimensionality for s in subspaces]
+        assert levels == sorted(levels)
+        assert subspaces[0].dims == (0,)
+
+    def test_stats_helpers(self):
+        stats = SearchStats(od_evaluations=2, upward_pruned=3, downward_pruned=4)
+        assert stats.decided_without_evaluation == 7
+        payload = stats.as_dict()
+        assert payload["od_evaluations"] == 2
+        assert payload["downward_pruned"] == 4
+
+
+class TestNodeHelpers:
+    def test_leaf_basics(self):
+        leaf = Node(level=0)
+        leaf.rows = [3, 1, 4]
+        assert leaf.is_leaf and not leaf.is_supernode
+        assert leaf.entry_count() == 3
+        assert leaf.height() == 1
+        assert sorted(leaf.subtree_rows()) == [1, 3, 4]
+        assert "leaf" in repr(leaf)
+
+    def test_directory_traversal(self):
+        root = Node(level=1)
+        left, right = Node(level=0), Node(level=0)
+        left.rows, right.rows = [0, 1], [2]
+        root.children = [left, right]
+        assert {id(node) for node in root.iter_subtree()} == {
+            id(root), id(left), id(right)
+        }
+        assert sorted(root.subtree_rows()) == [0, 1, 2]
+        assert root.height() == 2
+
+    def test_capacity_and_overflow(self):
+        node = Node(level=1)
+        node.children = [Node(level=0) for _ in range(5)]
+        assert node.overflows(max_entries=4)
+        node.blocks = 2
+        assert not node.overflows(max_entries=4)
+        assert node.is_supernode
+        assert "supernode" in repr(node)
+
+    def test_recompute_mbr_empty(self):
+        node = Node(level=0)
+        node.recompute_mbr(np.zeros((0, 2)))
+        assert node.mbr is None
+
+    def test_child_mbrs_requires_boxes(self):
+        from repro.core.exceptions import IndexError_
+
+        parent = Node(level=1)
+        parent.children = [Node(level=0)]
+        with pytest.raises(IndexError_):
+            parent.child_mbrs()
+
+
+class TestIndexStats:
+    def test_bump_and_snapshot(self):
+        stats = IndexStats()
+        stats.bump("supernodes_created")
+        stats.bump("supernodes_created", 2)
+        stats.node_accesses = 5
+        snapshot = stats.snapshot()
+        assert snapshot["supernodes_created"] == 3
+        assert snapshot["node_accesses"] == 5
+
+    def test_reset_clears_extras(self):
+        stats = IndexStats()
+        stats.bump("x")
+        stats.reset()
+        assert stats.extra == {}
+        assert stats.snapshot()["node_accesses"] == 0
+
+
+class TestWorkload:
+    def test_query_partition(self):
+        workload = planted_workload(n=200, d=5, n_outliers=3, n_inlier_queries=2)
+        assert workload.planted_queries == [0, 1, 2]
+        assert len(workload.inlier_queries) == 2
+        assert set(workload.planted_queries).isdisjoint(workload.inlier_queries)
+        assert all(row >= 3 for row in workload.inlier_queries)
+
+
+class TestE11Smoke:
+    def test_table_shape(self):
+        from repro.bench.experiments import e11_xtree_overlap
+
+        experiment = e11_xtree_overlap(fast=True)
+        rows = experiment.table.as_records()
+        assert [row["max_overlap"] for row in rows] == ["0", "0.200", "1.000"]
+        # Tighter overlap tolerance -> wider supernodes; max_overlap=1
+        # accepts every topological split, so no supernodes at all.
+        widths = [int(row["max_blocks"]) for row in rows]
+        assert widths[0] >= widths[1] >= widths[2]
+        assert int(rows[2]["supernodes"]) == 0
+        assert widths[2] == 1

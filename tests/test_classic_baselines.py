@@ -1,0 +1,142 @@
+"""Classic "space → outliers" baselines: kNN-distance, DB(π, D), LOF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.db_outlier import db_outliers, db_outlying_subspaces, is_db_outlier
+from repro.baselines.knn_outlier import knn_distance_scores, top_n_knn_outliers
+from repro.baselines.lof import lof_scores, top_n_lof_outliers
+from repro.core.exceptions import ConfigurationError
+from repro.core.subspace import is_subset
+
+
+@pytest.fixture(scope="module")
+def blob_with_outlier():
+    generator = np.random.default_rng(21)
+    X = generator.normal(size=(150, 3))
+    X[0] = [12.0, 12.0, 12.0]
+    return X
+
+
+class TestKnnOutlier:
+    def test_kth_score_matches_manual(self, blob_with_outlier):
+        X = blob_with_outlier
+        scores = knn_distance_scores(X, k=3)
+        distances = np.sqrt(((X - X[5]) ** 2).sum(axis=1))
+        distances[5] = np.inf
+        assert scores[5] == pytest.approx(np.sort(distances)[2])
+
+    def test_sum_score_is_od(self, blob_with_outlier):
+        """aggregate='sum' must equal HOS-Miner's OD in the same space."""
+        from repro.core.od import outlying_degree
+        from repro.index.linear import LinearScanIndex
+
+        X = blob_with_outlier
+        scores = knn_distance_scores(X, k=4, aggregate="sum")
+        backend = LinearScanIndex(X)
+        assert scores[7] == pytest.approx(
+            outlying_degree(backend, X[7], 4, (0, 1, 2), exclude=7)
+        )
+
+    def test_planted_outlier_ranks_first(self, blob_with_outlier):
+        result = top_n_knn_outliers(blob_with_outlier, k=3, n_outliers=5)
+        assert result.rows[0] == 0
+        assert 0 in result
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+    def test_subspace_restriction(self, blob_with_outlier):
+        X = blob_with_outlier.copy()
+        X[0] = 0.0
+        X[0, 2] = 25.0  # outlying only in dim 2
+        in_dim2 = top_n_knn_outliers(X, k=3, n_outliers=1, dims=(2,))
+        in_dims01 = top_n_knn_outliers(X, k=3, n_outliers=1, dims=(0, 1))
+        assert in_dim2.rows[0] == 0
+        assert in_dims01.rows[0] != 0
+
+    def test_validation(self, blob_with_outlier):
+        with pytest.raises(ConfigurationError):
+            knn_distance_scores(blob_with_outlier, k=0)
+        with pytest.raises(ConfigurationError):
+            knn_distance_scores(blob_with_outlier, k=3, aggregate="median")
+        with pytest.raises(ConfigurationError):
+            top_n_knn_outliers(blob_with_outlier, k=3, n_outliers=0)
+
+
+class TestDBOutlier:
+    def test_planted_outlier_detected(self, blob_with_outlier):
+        flags = db_outliers(blob_with_outlier, pi=0.95, radius=5.0)
+        assert flags[0]
+        assert flags.sum() < 10  # inliers mostly clean
+
+    def test_is_db_outlier_agrees_with_bulk(self, blob_with_outlier):
+        flags = db_outliers(blob_with_outlier, pi=0.9, radius=3.0)
+        for row in [0, 3, 50]:
+            assert is_db_outlier(blob_with_outlier, row, 0.9, 3.0) == flags[row]
+
+    def test_validation(self, blob_with_outlier):
+        with pytest.raises(ConfigurationError):
+            db_outliers(blob_with_outlier, pi=1.0, radius=1.0)
+        with pytest.raises(ConfigurationError):
+            db_outliers(blob_with_outlier, pi=0.5, radius=-1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_db_subspace_answer_is_upward_closed(self, seed):
+        """The DB(π, D) criterion is monotone too — its subspace answer
+        set must be upward closed, corroborating the paper's properties
+        on an independent outlier definition."""
+        generator = np.random.default_rng(seed)
+        X = generator.normal(size=(60, 4))
+        X[0, :2] += 7.0
+        subspaces = db_outlying_subspaces(X, 0, pi=0.9, radius=2.0)
+        masks = {s.mask for s in subspaces}
+        for mask in masks:
+            for other in masks:
+                pass  # closure checked below
+        for mask in list(masks):
+            for sup in range(1, 16):
+                if is_subset(mask, sup) and sup != mask:
+                    assert sup in masks
+
+
+class TestLOF:
+    def test_uniform_blob_scores_near_one(self):
+        X = np.random.default_rng(3).uniform(size=(300, 2))
+        scores = lof_scores(X, k=10)
+        interior = scores[(X[:, 0] > 0.2) & (X[:, 0] < 0.8) & (X[:, 1] > 0.2) & (X[:, 1] < 0.8)]
+        assert np.median(interior) == pytest.approx(1.0, abs=0.1)
+
+    def test_planted_outlier_scores_high(self, blob_with_outlier):
+        scores = lof_scores(blob_with_outlier, k=10)
+        assert scores[0] > 2.0
+        assert scores[0] == scores.max()
+
+    def test_top_n(self, blob_with_outlier):
+        rows, scores = top_n_lof_outliers(blob_with_outlier, k=10, n_outliers=3)
+        assert rows[0] == 0
+        assert list(scores) == sorted(scores, reverse=True)
+
+    def test_duplicates_get_lof_one(self):
+        X = np.zeros((20, 2))
+        X[10:] = 1.0
+        scores = lof_scores(X, k=3)
+        np.testing.assert_allclose(scores, 1.0)
+
+    def test_subspace_restriction_changes_answer(self):
+        generator = np.random.default_rng(8)
+        X = generator.normal(size=(200, 3))
+        X[0, 2] = 20.0
+        full = lof_scores(X, k=8)
+        masked = lof_scores(X, k=8, dims=(0, 1))
+        assert full[0] > 3.0
+        assert masked[0] < 2.0
+
+    def test_validation(self, blob_with_outlier):
+        with pytest.raises(ConfigurationError):
+            lof_scores(blob_with_outlier, k=0)
+        with pytest.raises(ConfigurationError):
+            top_n_lof_outliers(blob_with_outlier, k=3, n_outliers=0)

@@ -1,0 +1,154 @@
+"""CLI surface: parser, query flow, experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.loaders import dataset_to_csv, load_athletes
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "data.csv", "--row", "1", "--row", "2", "--k", "7"]
+        )
+        assert args.row == [1, 2]
+        assert args.k == 7
+
+    def test_experiment_validates_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "e99"])
+
+
+class TestCommands:
+    def test_demo_runs_all_three_scenarios(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "athlete" in out
+        assert "medical" in out
+        # Every scenario must actually flag its planted subjects.
+        assert out.count("is an outlier in") >= 7
+
+    def test_experiment_e0(self, capsys):
+        assert main(["experiment", "e0"]) == 0
+        out = capsys.readouterr().out
+        assert "Saving factors" in out
+
+    def test_experiment_save(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiment", "e0", "--save"]) == 0
+        assert (tmp_path / "results" / "e0.json").exists()
+
+    def test_query_roundtrip(self, tmp_path, capsys):
+        dataset = load_athletes(n=60)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        code = main(
+            [
+                "query",
+                str(path),
+                "--row", "0",
+                "--k", "4",
+                "--sample-size", "2",
+                "--normalize",
+                "--quantile", "0.98",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row 0:" in out
+        assert "outlier" in out
+
+    def test_query_reports_library_errors(self, tmp_path, capsys):
+        dataset = load_athletes(n=30)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        code = main(["query", str(path), "--row", "0", "--k", "500"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_query_with_profile(self, tmp_path, capsys):
+        dataset = load_athletes(n=60)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        code = main(
+            ["query", str(path), "--row", "0", "--k", "4",
+             "--sample-size", "2", "--normalize", "--profile"]
+        )
+        assert code == 0
+        assert "OD profile" in capsys.readouterr().out
+
+    def test_detect_lists_outliers_strongest_first(self, tmp_path, capsys):
+        dataset = load_athletes(n=80)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        code = main(
+            ["detect", str(path), "--k", "4", "--sample-size", "2",
+             "--normalize", "--quantile", "0.97", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outlier(s) among 80 rows" in out
+        assert "row 0:" in out or "row 1:" in out or "row 2:" in out
+
+
+class TestSearchBudget:
+    def test_budget_raises_loudly(self):
+        import numpy as np
+
+        from repro.core.exceptions import SearchBudgetExceeded
+        from repro.core.od import ODEvaluator
+        from repro.core.priors import PruningPriors
+        from repro.core.search import DynamicSubspaceSearch
+        from repro.index.linear import LinearScanIndex
+
+        generator = np.random.default_rng(0)
+        X = generator.normal(size=(60, 6))
+        X[0] += 4.0  # force a non-trivial search
+        evaluator = ODEvaluator(LinearScanIndex(X), X[0], 3, exclude=0)
+        search = DynamicSubspaceSearch(
+            evaluator, 5.0, PruningPriors.uniform(6), max_evaluations=2
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            search.run()
+
+    def test_generous_budget_unchanged_answer(self):
+        import numpy as np
+
+        from repro.core.od import ODEvaluator
+        from repro.core.priors import PruningPriors
+        from repro.core.search import DynamicSubspaceSearch
+        from repro.index.linear import LinearScanIndex
+
+        generator = np.random.default_rng(1)
+        X = generator.normal(size=(60, 5))
+        evaluator = ODEvaluator(LinearScanIndex(X), X[0], 3, exclude=0)
+        free = DynamicSubspaceSearch(
+            evaluator, 4.0, PruningPriors.uniform(5)
+        ).run()
+        budgeted = DynamicSubspaceSearch(
+            evaluator, 4.0, PruningPriors.uniform(5), max_evaluations=1000
+        ).run()
+        assert set(free.outlying_masks) == set(budgeted.outlying_masks)
+
+    def test_budget_validated(self):
+        import numpy as np
+
+        from repro.core.exceptions import ConfigurationError
+        from repro.core.od import ODEvaluator
+        from repro.core.priors import PruningPriors
+        from repro.core.search import DynamicSubspaceSearch
+        from repro.index.linear import LinearScanIndex
+
+        X = np.zeros((10, 3))
+        evaluator = ODEvaluator(LinearScanIndex(X), X[0], 2, exclude=0)
+        with pytest.raises(ConfigurationError):
+            DynamicSubspaceSearch(
+                evaluator, 1.0, PruningPriors.uniform(3), max_evaluations=0
+            )

@@ -1,0 +1,167 @@
+"""Data generators, loaders and scalers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataShapeError, NotFittedError
+from repro.data.loaders import (
+    ATHLETE_FEATURES,
+    PATIENT_FEATURES,
+    dataset_to_csv,
+    load_athletes,
+    load_csv,
+    load_patients,
+)
+from repro.data.normalize import MinMaxScaler, ZScoreScaler, minmax, zscore
+from repro.data.synthetic import (
+    make_correlated,
+    make_figure1_data,
+    make_gaussian_mixture,
+    make_planted_outliers,
+    make_uniform_noise,
+)
+
+
+class TestSynthetic:
+    def test_shapes_and_determinism(self):
+        a = make_gaussian_mixture(100, 5, seed=3)
+        b = make_gaussian_mixture(100, 5, seed=3)
+        assert a.X.shape == (100, 5)
+        np.testing.assert_array_equal(a.X, b.X)
+        c = make_gaussian_mixture(100, 5, seed=4)
+        assert not np.array_equal(a.X, c.X)
+
+    def test_uniform_bounds(self):
+        data = make_uniform_noise(200, 3, low=-1, high=2, seed=0)
+        assert data.X.min() >= -1 and data.X.max() <= 2
+
+    def test_correlated_correlation(self):
+        data = make_correlated(4000, 4, correlation=0.8, seed=1)
+        corr = np.corrcoef(data.X.T)
+        off_diagonal = corr[np.triu_indices(4, k=1)]
+        assert np.all(off_diagonal > 0.6)
+
+    def test_correlated_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_correlated(10, 3, correlation=1.0)
+
+    def test_planted_bookkeeping(self):
+        data = make_planted_outliers(
+            300, 8, n_outliers=4, subspace_dims=(2, 3), displacement=7.0, seed=5
+        )
+        assert data.outlier_rows == [0, 1, 2, 3]
+        for row in data.outlier_rows:
+            subspace = data.true_subspaces[row]
+            assert subspace.dimensionality in (2, 3)
+
+    def test_planted_displacement_visible(self):
+        """The planted point must be isolated *in its planted subspace*:
+        far from every background point there (global column statistics
+        are the wrong yardstick — the background is multi-cluster)."""
+        data = make_planted_outliers(
+            500, 6, n_outliers=1, subspace_dims=2, displacement=10.0, seed=7
+        )
+        planted = data.true_subspaces[0]
+        background = np.delete(data.X, 0, axis=0)
+        dims = list(planted.dims)
+        gaps = np.sqrt(((background[:, dims] - data.X[0, dims]) ** 2).sum(axis=1))
+        assert gaps.min() >= 0.4 * 10.0  # the generator's isolation guarantee
+
+    def test_planted_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_planted_outliers(10, 3, n_outliers=11)
+        with pytest.raises(ConfigurationError):
+            make_planted_outliers(10, 3, subspace_dims=4)
+
+    def test_figure1_structure(self):
+        data = make_figure1_data(n=300, seed=2)
+        assert data.d == 6
+        assert data.outlier_rows == [0]
+        assert data.true_subspaces[0].dims == (0, 1)
+        # p matches an inlier exactly in views 2-3, far away in view 1.
+        np.testing.assert_array_equal(data.X[0, 2:6], data.X[1, 2:6])
+        assert np.linalg.norm(data.X[0, :2] - data.X[1:, :2].mean(axis=0)) > 4
+
+    def test_repr(self):
+        assert "planted" in repr(make_planted_outliers(50, 4, seed=0))
+
+
+class TestLoaders:
+    def test_athletes_deterministic_and_named(self):
+        a, b = load_athletes(), load_athletes()
+        np.testing.assert_array_equal(a.X, b.X)
+        assert a.feature_names == ATHLETE_FEATURES
+        assert a.d == len(ATHLETE_FEATURES)
+        assert len(a.outlier_rows) == 3
+
+    def test_athlete_weaknesses_visible(self):
+        data = load_athletes()
+        for row in data.outlier_rows:
+            for dim in data.true_subspaces[row].dims:
+                column = np.delete(data.X[:, dim], row)
+                # The column mixes three position profiles, so use a 3-sigma
+                # bound on the mixed spread.
+                assert data.X[row, dim] < column.mean() - 3 * column.std()
+
+    def test_patients_deterministic_and_named(self):
+        data = load_patients()
+        assert data.feature_names == PATIENT_FEATURES
+        assert len(data.outlier_rows) == 3
+        assert data.n == 400
+
+    def test_csv_round_trip(self, tmp_path):
+        original = load_athletes(n=20)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(original))
+        loaded = load_csv(str(path))
+        np.testing.assert_allclose(loaded.X, original.X)
+        assert loaded.feature_names == original.feature_names
+
+    def test_csv_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DataShapeError):
+            load_csv(str(path))
+
+    def test_csv_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DataShapeError):
+            load_csv(str(path))
+
+
+class TestScalers:
+    def test_zscore_properties(self, rng):
+        X = rng.normal(loc=5, scale=3, size=(200, 4))
+        Z = zscore(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_minmax_properties(self, rng):
+        X = rng.normal(size=(100, 3))
+        M = minmax(X)
+        np.testing.assert_allclose(M.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(M.max(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_columns_safe(self):
+        X = np.ones((50, 2))
+        assert not np.isnan(zscore(X)).any()
+        assert not np.isnan(minmax(X)).any()
+
+    def test_transform_applies_fit_parameters(self, rng):
+        X = rng.normal(size=(100, 2))
+        scaler = ZScoreScaler().fit(X)
+        single = scaler.transform(X[:1])
+        np.testing.assert_allclose(single, (X[:1] - X.mean(0)) / X.std(0))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            ZScoreScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_fit_validation(self):
+        with pytest.raises(DataShapeError):
+            ZScoreScaler().fit(np.zeros(5))

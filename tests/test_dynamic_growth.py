@@ -1,0 +1,120 @@
+"""Dynamic insertion: backends grow, trees keep invariants, miner extends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataShapeError
+from repro.core.miner import HOSMiner
+from repro.index import LinearScanIndex, RStarTree, VAFile, XTree
+
+
+def _data(seed, n=150, d=4):
+    generator = np.random.default_rng(seed)
+    return generator.normal(size=(n, d)) + generator.choice([-5.0, 5.0], size=(n, 1))
+
+
+BACKENDS = [
+    ("linear", lambda X: LinearScanIndex(X)),
+    ("rstar", lambda X: RStarTree(X, max_entries=8)),
+    ("xtree", lambda X: XTree(X, max_entries=8)),
+    ("vafile", lambda X: VAFile(X, bits=5)),
+]
+
+
+class TestBackendInsert:
+    @pytest.mark.parametrize("name, factory", BACKENDS, ids=[b[0] for b in BACKENDS])
+    def test_insert_then_parity_with_rebuilt_scan(self, name, factory):
+        X = _data(3)
+        backend = factory(X)
+        generator = np.random.default_rng(50)
+        extra = generator.normal(size=(40, 4)) * 2.0
+        for point in extra:
+            row = backend.insert(point)
+        assert row == 189
+        assert backend.size == 190
+        full = np.vstack([X, extra])
+        scan = LinearScanIndex(full)
+        for query_row in [0, 150, 189]:
+            bi, bd = backend.knn(full[query_row], 6, (0, 1, 2, 3), exclude=query_row)
+            si, sd = scan.knn(full[query_row], 6, (0, 1, 2, 3), exclude=query_row)
+            assert list(bi) == list(si), name
+            np.testing.assert_allclose(bd, sd)
+
+    @pytest.mark.parametrize(
+        "name, factory", BACKENDS[1:3], ids=["rstar", "xtree"]
+    )
+    def test_tree_invariants_survive_inserts(self, name, factory):
+        X = _data(5, n=100)
+        tree = factory(X)
+        generator = np.random.default_rng(51)
+        for point in generator.normal(size=(120, 4)) * 3.0:
+            tree.insert(point)
+        tree.validate()
+
+    @pytest.mark.parametrize("name, factory", BACKENDS, ids=[b[0] for b in BACKENDS])
+    def test_insert_shape_checked(self, name, factory):
+        backend = factory(_data(7))
+        with pytest.raises(DataShapeError):
+            backend.insert(np.zeros(9))
+
+
+class TestMinerExtend:
+    def _miner(self):
+        X = _data(11, n=200, d=4)
+        return HOSMiner(k=4, sample_size=3, threshold_quantile=0.98).fit(X), X
+
+    def test_extend_none_keeps_state(self):
+        miner, X = self._miner()
+        threshold = miner.threshold_
+        priors = miner.priors_.p_up.copy()
+        new_point = X.mean(axis=0) + 30.0  # a blatant new outlier
+        miner.extend(new_point)
+        assert miner.backend_.size == 201
+        assert miner.threshold_ == threshold
+        np.testing.assert_array_equal(miner.priors_.p_up, priors)
+        result = miner.query_row(200)
+        assert result.is_outlier
+
+    def test_extend_threshold_recalibrates(self):
+        miner, X = self._miner()
+        before = miner.threshold_
+        generator = np.random.default_rng(12)
+        miner.extend(generator.normal(size=(100, 4)) * 4.0, refresh="threshold")
+        assert miner.backend_.size == 300
+        assert miner.threshold_ != before  # wider data -> different quantile
+
+    def test_extend_full_relearns(self):
+        miner, _ = self._miner()
+        report_before = miner.learning_report_
+        miner.extend(np.zeros((5, 4)), refresh="full")
+        assert miner.learning_report_ is not report_before
+
+    def test_extend_explicit_threshold_never_touched(self):
+        X = _data(13, n=120, d=4)
+        miner = HOSMiner(k=3, threshold=7.5, sample_size=0).fit(X)
+        miner.extend(np.zeros((3, 4)), refresh="threshold")
+        assert miner.threshold_ == 7.5
+
+    def test_extend_validation(self):
+        miner, _ = self._miner()
+        with pytest.raises(ConfigurationError):
+            miner.extend(np.zeros((2, 4)), refresh="later")
+        with pytest.raises(DataShapeError):
+            miner.extend(np.zeros((2, 9)))
+
+    def test_vafile_miner_round_trip(self):
+        """The fourth backend drives the full pipeline too."""
+        X = _data(17, n=250, d=5)
+        X[0, :2] += 12.0
+        miner = HOSMiner(
+            k=4, sample_size=3, threshold_quantile=0.98,
+            index="vafile", index_options={"bits": 5},
+        ).fit(X)
+        result = miner.query_row(0)
+        assert result.is_outlier
+        reference = HOSMiner(
+            k=4, sample_size=3, threshold_quantile=0.98
+        ).fit(X).query_row(0)
+        assert {s.mask for s in result.minimal} == {s.mask for s in reference.minimal}

@@ -1,0 +1,167 @@
+"""The Aggarwal–Yu evolutionary comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.evolutionary import (
+    EvolutionaryConfig,
+    EvolutionarySubspaceSearch,
+    brute_force_sparse_cubes,
+)
+from repro.baselines.grid import WILDCARD
+from repro.core.exceptions import ConfigurationError, NotFittedError
+
+
+def _easy_problem(seed=0, n=400):
+    """The Aggarwal–Yu canonical scenario: two clusters in dims (0, 1)
+    and one *cross-combination* point (dim 0 from one cluster, dim 1
+    from the other). Each marginal range is well populated, the joint
+    cell holds only the planted point — maximal negative sparsity.
+
+    Note a merely *far* point would not work: with equi-depth ranges an
+    extreme value shares its tail range with a third of the data, so its
+    joint cell is as populated as independence predicts.
+    """
+    generator = np.random.default_rng(seed)
+    X = generator.normal(size=(n, 4)) * 0.5
+    half = n // 2
+    X[:half, 0] += 12.0
+    X[:half, 1] += 12.0
+    X[0, 0] = 12.0  # cluster-B coordinate ...
+    X[0, 1] = 0.0   # ... paired with a cluster-A coordinate
+    return X
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"phi": 1},
+            {"target_dims": 0},
+            {"population": 1},
+            {"generations": 0},
+            {"best_cubes": 0},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"elite": 50, "population": 50},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EvolutionaryConfig(**kwargs)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            EvolutionarySubspaceSearch(EvolutionaryConfig(), phi=3)
+
+    def test_target_dims_checked_against_data(self):
+        search = EvolutionarySubspaceSearch(target_dims=5)
+        with pytest.raises(ConfigurationError):
+            search.fit(np.zeros((20, 3)))
+
+
+class TestGA:
+    def test_finds_planted_outlier_on_easy_data(self):
+        X = _easy_problem()
+        search = EvolutionarySubspaceSearch(
+            phi=3, target_dims=2, population=40, generations=25, best_cubes=10, seed=1
+        ).fit(X)
+        assert search.is_outlier(0)
+        subspaces = search.subspaces_for_point(0)
+        assert subspaces, "planted point should sit in some best cube"
+        assert any(set(s.dims) & {0, 1} for s in subspaces)
+
+    def test_matches_brute_force_on_tiny_problem(self):
+        """With a generous budget on a tiny search space the GA must find
+        the same sparsest value the oracle finds."""
+        X = _easy_problem(seed=3, n=150)[:, :3]
+        oracle = brute_force_sparse_cubes(X, phi=3, target_dims=2, best_cubes=1)
+        search = EvolutionarySubspaceSearch(
+            phi=3, target_dims=2, population=60, generations=40, best_cubes=1, seed=5
+        ).fit(X)
+        assert search.best_cubes_[0].sparsity == pytest.approx(
+            oracle[0].sparsity, abs=1e-9
+        )
+
+    def test_deterministic_under_seed(self):
+        X = _easy_problem(seed=9)
+        a = EvolutionarySubspaceSearch(
+            phi=3, target_dims=2, population=20, generations=10, seed=4
+        ).fit(X)
+        b = EvolutionarySubspaceSearch(
+            phi=3, target_dims=2, population=20, generations=10, seed=4
+        ).fit(X)
+        assert [c.notation() for c in a.best_cubes_] == [
+            c.notation() for c in b.best_cubes_
+        ]
+
+    def test_best_cubes_are_occupied_and_sorted(self):
+        X = _easy_problem(seed=11)
+        search = EvolutionarySubspaceSearch(
+            phi=4, target_dims=2, population=30, generations=15, best_cubes=8, seed=0
+        ).fit(X)
+        sparsities = [cube.sparsity for cube in search.best_cubes_]
+        assert sparsities == sorted(sparsities)
+        assert all(cube.count > 0 for cube in search.best_cubes_)
+
+    def test_history_tracks_generations(self):
+        search = EvolutionarySubspaceSearch(
+            phi=3, target_dims=2, population=10, generations=7, seed=0
+        ).fit(_easy_problem(seed=13, n=100))
+        assert len(search.history_) == 7
+
+    def test_unfitted_access_raises(self):
+        search = EvolutionarySubspaceSearch()
+        with pytest.raises(NotFittedError):
+            search.subspaces_for_point(0)
+        with pytest.raises(NotFittedError):
+            search.is_outlier(0)
+
+    def test_repr_mentions_state(self):
+        search = EvolutionarySubspaceSearch()
+        assert "unfitted" in repr(search)
+
+
+class TestOperators:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_random_solutions_have_exact_dimensionality(self, seed):
+        search = EvolutionarySubspaceSearch(phi=4, target_dims=3)
+        generator = np.random.default_rng(seed)
+        solution = search._random_solution(generator, 8)
+        assert (solution != WILDCARD).sum() == 3
+        constrained = solution[solution != WILDCARD]
+        assert constrained.min() >= 0 and constrained.max() < 4
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_crossover_repairs_dimensionality(self, seed):
+        search = EvolutionarySubspaceSearch(phi=4, target_dims=3)
+        generator = np.random.default_rng(seed)
+        a = search._random_solution(generator, 8)
+        b = search._random_solution(generator, 8)
+        child = search._crossover(generator, a, b)
+        assert (child != WILDCARD).sum() == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_mutation_preserves_dimensionality(self, seed):
+        search = EvolutionarySubspaceSearch(phi=4, target_dims=3, mutation_rate=1.0)
+        generator = np.random.default_rng(seed)
+        solution = search._random_solution(generator, 8)
+        search._mutate(generator, solution, 4)
+        assert (solution != WILDCARD).sum() == 3
+
+
+class TestBruteForce:
+    def test_enumerates_expected_count(self):
+        X = np.random.default_rng(0).normal(size=(60, 3))
+        cubes = brute_force_sparse_cubes(X, phi=2, target_dims=2, best_cubes=1000)
+        # C(3,2) * 2^2 = 12 cubes, minus any empty ones.
+        assert 1 <= len(cubes) <= 12
+        sparsities = [cube.sparsity for cube in cubes]
+        assert sparsities == sorted(sparsities)

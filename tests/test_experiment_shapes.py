@@ -1,0 +1,113 @@
+"""Reproduction guards: the paper's claimed *shapes*, pinned as tests.
+
+EXPERIMENTS.md records measured tables; these tests assert the shapes
+those tables must keep showing (who wins, what grows, what shrinks) on
+the fast grids, so a regression in any module that silently broke a
+reproduced claim fails CI rather than only changing a markdown file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    e1_scalability_n,
+    e2_scalability_d,
+    e4_threshold,
+    e6_effectiveness,
+    e9_filter,
+    e10_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def e10_rows():
+    return {row["strategy"]: row for row in e10_ablation(fast=True).table.as_records()}
+
+
+class TestE10Shapes:
+    def test_every_strategy_matches_oracle(self, e10_rows):
+        assert all(row["answers_match_oracle"] == "yes" for row in e10_rows.values())
+
+    def test_pruning_beats_exhaustive_everywhere(self, e10_rows):
+        exhaustive = float(e10_rows["exhaustive"]["outlier_q_evals"])
+        for name in ("bottom_up", "top_down", "tsf_uniform", "tsf_adaptive"):
+            assert float(e10_rows[name]["outlier_q_evals"]) < exhaustive
+
+    def test_fixed_sweeps_are_one_sided(self, e10_rows):
+        # bottom-up: good on outliers, useless on inliers; top-down: reverse.
+        assert float(e10_rows["bottom_up"]["inlier_q_evals"]) == pytest.approx(
+            float(e10_rows["exhaustive"]["inlier_q_evals"])
+        )
+        assert float(e10_rows["top_down"]["inlier_q_evals"]) == 1.0
+        assert float(e10_rows["bottom_up"]["outlier_q_evals"]) < float(
+            e10_rows["top_down"]["outlier_q_evals"]
+        )
+
+    def test_tsf_uniform_gets_both_fast_paths(self, e10_rows):
+        assert float(e10_rows["tsf_uniform"]["inlier_q_evals"]) == 1.0
+        assert float(e10_rows["tsf_uniform"]["outlier_q_evals"]) < float(
+            e10_rows["bottom_up"]["outlier_q_evals"]
+        )
+
+    def test_adaptive_repairs_learned_prior_pathology(self, e10_rows):
+        assert float(e10_rows["tsf_adaptive"]["outlier_q_evals"]) < 0.5 * float(
+            e10_rows["tsf_learned"]["outlier_q_evals"]
+        )
+        assert float(e10_rows["tsf_adaptive"]["inlier_q_evals"]) == 1.0
+
+
+class TestE1E2Shapes:
+    def test_e1_hos_always_beats_exhaustive_on_evaluations(self):
+        for row in e1_scalability_n(fast=True).table.as_records():
+            assert float(row["hos_evals"]) < float(row["exh_evals"])
+            assert float(row["adapt_evals"]) < float(row["exh_evals"])
+
+    def test_e2_evaluated_fraction_shrinks_with_d(self):
+        rows = e2_scalability_d(fast=True).table.as_records()
+        fractions = [float(row["adapt_fraction"]) for row in rows]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[-1] < 0.25
+
+
+class TestE4Shapes:
+    def test_planted_always_flagged_inliers_never(self):
+        for row in e4_threshold(fast=True).table.as_records():
+            flagged, total = row["flagged_planted"].split("/")
+            assert flagged == total
+            assert row["flagged_inliers"].startswith("0/")
+
+    def test_threshold_grows_with_quantile(self):
+        rows = e4_threshold(fast=True).table.as_records()
+        thresholds = [float(row["T"]) for row in rows]
+        assert thresholds == sorted(thresholds)
+
+
+class TestE6Shapes:
+    @pytest.fixture(scope="class")
+    def by_key(self):
+        rows = e6_effectiveness(fast=True).table.as_records()
+        return {(row["workload"], row["method"]): row for row in rows}
+
+    @pytest.mark.parametrize("workload", ["strong-3d", "subtle-2d"])
+    def test_hos_matches_oracle_exactly(self, by_key, workload):
+        row = by_key[(workload, "HOS-Miner")]
+        assert float(row["prec_vs_oracle"]) == 1.0
+        assert float(row["rec_vs_oracle"]) == 1.0
+        assert float(row["flagged"]) == 1.0
+        assert float(row["contained"]) == 1.0
+
+    @pytest.mark.parametrize("workload", ["strong-3d", "subtle-2d"])
+    def test_evolutionary_trails_on_every_axis(self, by_key, workload):
+        hos = by_key[(workload, "HOS-Miner")]
+        evo = by_key[(workload, "Evolutionary")]
+        assert float(evo["rec_vs_oracle"]) < float(hos["rec_vs_oracle"])
+        assert float(evo["flagged"]) <= float(hos["flagged"])
+        assert int(evo["points_flagged"]) > int(hos["points_flagged"])
+
+
+class TestE9Shapes:
+    def test_filter_collapses_by_an_order_of_magnitude(self):
+        for row in e9_filter(fast=True).table.as_records():
+            assert float(row["refinement_factor"]) > 10.0
+            assert int(row["minimal"]) < int(row["outlying_total"])

@@ -1,0 +1,88 @@
+"""Feature-bagging ensemble (Lazarevic–Kumar comparator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.feature_bagging import FeatureBaggingConfig, FeatureBaggingDetector
+from repro.core.exceptions import ConfigurationError, DataShapeError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def planted():
+    generator = np.random.default_rng(44)
+    X = generator.normal(size=(300, 8))
+    X[0, 2] += 9.0
+    X[0, 5] += 9.0
+    return X
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rounds": 0},
+            {"k": 0},
+            {"combine": "mean"},
+            {"score_quantile": 1.0},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FeatureBaggingConfig(**kwargs)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            FeatureBaggingDetector(FeatureBaggingConfig(), rounds=3)
+
+
+class TestDetection:
+    def test_planted_outlier_ranks_top(self, planted):
+        detector = FeatureBaggingDetector(rounds=12, k=10, seed=1).fit(planted)
+        rows, scores = detector.top_n(5)
+        assert rows[0] == 0
+        assert list(scores) == sorted(scores, reverse=True)
+
+    @pytest.mark.parametrize("combine", ["breadth", "cumulative"])
+    def test_both_combiners_work(self, planted, combine):
+        detector = FeatureBaggingDetector(rounds=8, k=10, combine=combine, seed=2)
+        detector.fit(planted)
+        rows, _ = detector.top_n(3)
+        assert 0 in rows
+
+    def test_sampled_subspace_sizes_in_paper_range(self, planted):
+        detector = FeatureBaggingDetector(rounds=15, k=5, seed=3).fit(planted)
+        for dims in detector.subspaces_:
+            assert 4 <= len(dims) <= 7  # [d/2, d-1] for d=8
+
+    def test_subspaces_for_point_hits_planted_dims(self, planted):
+        detector = FeatureBaggingDetector(rounds=20, k=10, seed=4).fit(planted)
+        answers = detector.subspaces_for_point(0)
+        assert answers, "planted point should be extreme in some sampled subspace"
+        assert any({2, 5} & set(s.dims) for s in answers)
+
+    def test_deterministic_under_seed(self, planted):
+        a = FeatureBaggingDetector(rounds=6, k=8, seed=7).fit(planted)
+        b = FeatureBaggingDetector(rounds=6, k=8, seed=7).fit(planted)
+        assert a.subspaces_ == b.subspaces_
+        np.testing.assert_allclose(a.scores_, b.scores_)
+
+    def test_unfitted_raises(self):
+        detector = FeatureBaggingDetector()
+        with pytest.raises(NotFittedError):
+            detector.top_n(3)
+        with pytest.raises(NotFittedError):
+            detector.subspaces_for_point(0)
+
+    def test_shape_validation(self):
+        with pytest.raises(DataShapeError):
+            FeatureBaggingDetector(k=10).fit(np.zeros((5, 3)))
+
+    def test_top_n_validation(self, planted):
+        detector = FeatureBaggingDetector(rounds=3, k=5, seed=0).fit(planted)
+        with pytest.raises(ConfigurationError):
+            detector.top_n(0)
+
+    def test_repr(self):
+        assert "unfitted" in repr(FeatureBaggingDetector())

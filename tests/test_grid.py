@@ -1,0 +1,105 @@
+"""Equi-depth grid and the sparsity coefficient."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.grid import EquiDepthGrid, SparseCube
+from repro.core.exceptions import ConfigurationError, DataShapeError
+
+
+class TestDiscretisation:
+    def test_equi_depth_on_uniform_data(self):
+        X = np.linspace(0, 1, 1000).reshape(-1, 1)
+        grid = EquiDepthGrid(X, phi=5)
+        counts = np.bincount(grid.codes[:, 0], minlength=5)
+        assert counts.min() >= 190 and counts.max() <= 210
+
+    def test_codes_in_range(self, rng):
+        X = rng.normal(size=(200, 3))
+        grid = EquiDepthGrid(X, phi=4)
+        assert grid.codes.min() >= 0
+        assert grid.codes.max() <= 3
+
+    def test_ties_collapse_gracefully(self):
+        X = np.zeros((100, 1))  # fully tied column
+        grid = EquiDepthGrid(X, phi=4)
+        assert len(set(grid.codes[:, 0])) == 1  # everything in one range
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EquiDepthGrid(np.zeros((10, 2)), phi=1)
+        with pytest.raises(DataShapeError):
+            EquiDepthGrid(np.zeros((0, 2)), phi=3)
+
+    def test_selectivity(self):
+        grid = EquiDepthGrid(np.random.default_rng(0).normal(size=(50, 2)), phi=4)
+        assert grid.selectivity == 0.25
+
+
+class TestCubes:
+    def test_rows_in_cube_matches_manual_filter(self, rng):
+        X = rng.normal(size=(300, 4))
+        grid = EquiDepthGrid(X, phi=3)
+        dims, ranges = (0, 2), (1, 0)
+        rows = grid.rows_in_cube(dims, ranges)
+        expected = np.flatnonzero(
+            (grid.codes[:, 0] == 1) & (grid.codes[:, 2] == 0)
+        )
+        np.testing.assert_array_equal(rows, expected)
+
+    def test_count_consistency(self, rng):
+        X = rng.normal(size=(200, 3))
+        grid = EquiDepthGrid(X, phi=3)
+        total = sum(
+            grid.count_in_cube((0,), (r,)) for r in range(3)
+        )
+        assert total == 200
+
+    def test_cube_argument_validation(self, rng):
+        grid = EquiDepthGrid(rng.normal(size=(50, 3)), phi=3)
+        with pytest.raises(ConfigurationError):
+            grid.rows_in_cube((), ())
+        with pytest.raises(ConfigurationError):
+            grid.rows_in_cube((0, 1), (0,))
+
+
+class TestSparsity:
+    def test_manual_value(self):
+        """S(C) = (n(C) - N f^k) / sqrt(N f^k (1 - f^k)) with N=1000,
+        phi=5, k=3: expected 8, sd = sqrt(8 * 0.992)."""
+        grid = EquiDepthGrid(np.random.default_rng(0).normal(size=(1000, 5)), phi=5)
+        expected = 1000 * 0.2**3
+        sd = math.sqrt(1000 * 0.2**3 * (1 - 0.2**3))
+        assert grid.sparsity(1, 3) == pytest.approx((1 - expected) / sd)
+
+    def test_sign_conventions(self, rng):
+        grid = EquiDepthGrid(rng.normal(size=(500, 4)), phi=4)
+        assert grid.sparsity(0, 2) < 0  # emptier than expected
+        assert grid.sparsity(400, 2) > 0  # denser than expected
+
+    def test_evaluate_solution_wildcards(self, rng):
+        X = rng.normal(size=(100, 4))
+        grid = EquiDepthGrid(X, phi=3)
+        solution = np.array([-1, 2, -1, 0], dtype=np.int32)
+        cube = grid.evaluate_solution(solution)
+        assert cube.dims == (1, 3)
+        assert cube.ranges == (2, 0)
+        assert cube.count == grid.count_in_cube((1, 3), (2, 0))
+
+    def test_all_wildcard_solution_rejected(self, rng):
+        grid = EquiDepthGrid(rng.normal(size=(50, 3)), phi=3)
+        with pytest.raises(ConfigurationError):
+            grid.evaluate_solution(np.full(3, -1, dtype=np.int32))
+
+
+class TestSparseCube:
+    def test_notation_and_contains(self):
+        cube = SparseCube(dims=(1, 4), ranges=(0, 3), count=2, sparsity=-2.3, rows=(7, 9))
+        assert cube.contains_row(7)
+        assert not cube.contains_row(8)
+        assert cube.dimensionality == 2
+        assert "2:r0" in cube.notation() and "5:r3" in cube.notation()

@@ -1,0 +1,71 @@
+"""Bounded kNN max-heap: bound semantics and deterministic ties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.index.heap import KnnHeap
+
+
+class TestBasics:
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            KnnHeap(0)
+
+    def test_bound_infinite_until_full(self):
+        heap = KnnHeap(2)
+        assert heap.bound() == float("inf")
+        heap.offer(5.0, 1)
+        assert heap.bound() == float("inf")
+        heap.offer(3.0, 2)
+        assert heap.bound() == 5.0
+        assert heap.full
+
+    def test_offer_replaces_worst(self):
+        heap = KnnHeap(2)
+        heap.offer(5.0, 1)
+        heap.offer(3.0, 2)
+        assert heap.offer(4.0, 3)  # replaces the 5.0
+        assert heap.bound() == 4.0
+        assert not heap.offer(9.0, 4)
+
+    def test_items_sorted_by_distance_then_id(self):
+        heap = KnnHeap(3)
+        heap.offer(2.0, 9)
+        heap.offer(1.0, 5)
+        heap.offer(2.0, 3)
+        assert heap.items() == [(5, 1.0), (3, 2.0), (9, 2.0)]
+
+    def test_equal_distance_prefers_smaller_id(self):
+        heap = KnnHeap(1)
+        heap.offer(1.0, 7)
+        assert heap.offer(1.0, 3)  # same distance, smaller id wins
+        assert heap.items() == [(3, 1.0)]
+        assert not heap.offer(1.0, 9)
+
+    def test_len(self):
+        heap = KnnHeap(4)
+        heap.offer(1.0, 1)
+        assert len(heap) == 1
+
+
+@settings(max_examples=80)
+@given(
+    k=st.integers(1, 8),
+    entries=st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), st.integers(0, 50)),
+        min_size=0,
+        max_size=40,
+    ),
+)
+def test_heap_matches_sorted_reference(k, entries):
+    """Property: the heap retains exactly the k smallest (distance, id)
+    pairs, deduplicating nothing, ordered like the linear scan."""
+    heap = KnnHeap(k)
+    for distance, item in entries:
+        heap.offer(distance, item)
+    expected = sorted(((d, i) for d, i in entries))[:k]
+    assert heap.items() == [(i, d) for d, i in expected]

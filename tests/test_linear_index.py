@@ -1,0 +1,123 @@
+"""Linear-scan backend: exactness, exclusion, accounting, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataShapeError
+from repro.index.linear import BLOCK_ROWS, LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    generator = np.random.default_rng(5)
+    X = generator.normal(size=(130, 4))
+    return LinearScanIndex(X), X
+
+
+class TestKnn:
+    def test_matches_numpy_reference(self, index):
+        backend, X = index
+        q = X[3]
+        dims = (0, 2)
+        indices, distances = backend.knn(q, 7, dims, exclude=3)
+        reference = np.sqrt(((X[:, dims] - q[list(dims)]) ** 2).sum(axis=1))
+        reference[3] = np.inf
+        order = np.lexsort((np.arange(len(reference)), reference))[:7]
+        np.testing.assert_array_equal(indices, order)
+        np.testing.assert_allclose(distances, reference[order])
+
+    def test_distances_sorted_and_exclude_respected(self, index):
+        backend, X = index
+        indices, distances = backend.knn(X[0], 10, (0, 1, 2, 3), exclude=0)
+        assert 0 not in indices
+        assert list(distances) == sorted(distances)
+
+    def test_k_equal_n_minus_one(self, index):
+        backend, X = index
+        indices, _ = backend.knn(X[0], 129, (0, 1), exclude=0)
+        assert len(indices) == 129
+
+    def test_duplicate_ties_break_by_row(self):
+        X = np.zeros((6, 2))
+        backend = LinearScanIndex(X)
+        indices, distances = backend.knn(np.zeros(2), 3, (0, 1))
+        assert list(indices) == [0, 1, 2]
+        assert list(distances) == [0.0, 0.0, 0.0]
+
+    def test_k_validation(self, index):
+        backend, X = index
+        with pytest.raises(ConfigurationError):
+            backend.knn(X[0], 0, (0,))
+        with pytest.raises(ConfigurationError):
+            backend.knn(X[0], 130, (0,), exclude=0)
+
+    def test_dims_validation(self, index):
+        backend, X = index
+        with pytest.raises(ConfigurationError):
+            backend.knn(X[0], 3, ())
+        with pytest.raises(ConfigurationError):
+            backend.knn(X[0], 3, (0, 9))
+
+    def test_query_shape_validation(self, index):
+        backend, _ = index
+        with pytest.raises(DataShapeError):
+            backend.knn(np.zeros(3), 3, (0,))
+
+
+class TestRange:
+    def test_matches_numpy_reference(self, index):
+        backend, X = index
+        q = X[10]
+        hits = backend.range_query(q, 1.0, (0, 1), exclude=10)
+        reference = np.sqrt(((X[:, (0, 1)] - q[[0, 1]]) ** 2).sum(axis=1))
+        expected = set(np.flatnonzero(reference <= 1.0)) - {10}
+        assert set(hits) == expected
+
+    def test_radius_zero_finds_duplicates(self):
+        X = np.zeros((4, 2))
+        backend = LinearScanIndex(X)
+        assert set(backend.range_query(np.zeros(2), 0.0, (0, 1))) == {0, 1, 2, 3}
+
+    def test_negative_radius_rejected(self, index):
+        backend, X = index
+        with pytest.raises(ConfigurationError):
+            backend.range_query(X[0], -1.0, (0,))
+
+
+class TestAccounting:
+    def test_stats_per_query(self):
+        X = np.random.default_rng(0).normal(size=(130, 3))
+        backend = LinearScanIndex(X)
+        backend.knn(X[0], 3, (0, 1), exclude=0)
+        assert backend.stats.knn_queries == 1
+        assert backend.stats.distance_computations == 130
+        assert backend.stats.node_accesses == -(-130 // BLOCK_ROWS)
+        backend.range_query(X[0], 1.0, (0,))
+        assert backend.stats.range_queries == 1
+        assert backend.stats.distance_computations == 260
+
+    def test_reset(self):
+        X = np.zeros((10, 2))
+        backend = LinearScanIndex(X)
+        backend.knn(np.zeros(2), 2, (0,))
+        backend.stats.reset()
+        assert backend.stats.snapshot()["distance_computations"] == 0
+
+
+class TestConstruction:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DataShapeError):
+            LinearScanIndex(np.zeros((0, 3)))
+        with pytest.raises(DataShapeError):
+            LinearScanIndex(np.zeros(5))
+
+    def test_data_view_read_only(self, index):
+        backend, _ = index
+        with pytest.raises(ValueError):
+            backend.data[0, 0] = 99.0
+
+    def test_repr(self, index):
+        backend, _ = index
+        assert "LinearScanIndex" in repr(backend)

@@ -1,0 +1,146 @@
+"""MBR geometry used by the tree indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.exceptions import DataShapeError
+from repro.index.mbr import MBR
+
+FINITE = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+VEC3 = arrays(np.float64, 3, elements=FINITE)
+
+
+def box(lower, upper):
+    return MBR(np.asarray(lower, float), np.asarray(upper, float))
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self):
+        b = MBR.from_point(np.array([1.0, 2.0]))
+        assert b.area() == 0.0
+        assert b.contains_point(np.array([1.0, 2.0]))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(DataShapeError):
+            box([2.0, 0.0], [1.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataShapeError):
+            MBR(np.zeros(2), np.zeros(3))
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            MBR.union_of([])
+
+    def test_copy_is_independent(self):
+        a = box([0, 0], [1, 1])
+        b = a.copy()
+        b.extend_point(np.array([5.0, 5.0]))
+        assert a.upper[0] == 1.0
+
+
+class TestGeometry:
+    def test_area_margin_center(self):
+        b = box([0, 0, 0], [2, 3, 4])
+        assert b.area() == 24.0
+        assert b.margin() == 9.0
+        np.testing.assert_array_equal(b.center(), [1.0, 1.5, 2.0])
+
+    def test_containment(self):
+        outer = box([0, 0], [10, 10])
+        inner = box([2, 2], [3, 3])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_point(np.array([10.0, 0.0]))
+        assert not outer.contains_point(np.array([10.1, 0.0]))
+
+    def test_intersection_volume(self):
+        a = box([0, 0], [2, 2])
+        b = box([1, 1], [3, 3])
+        assert a.intersection_volume(b) == 1.0
+        disjoint = box([5, 5], [6, 6])
+        assert a.intersection_volume(disjoint) == 0.0
+        assert not a.intersects(disjoint)
+
+    def test_overlap_ratio_cases(self):
+        a = box([0, 0], [2, 2])
+        assert a.overlap_ratio(box([0, 0], [2, 2])) == pytest.approx(1.0)
+        assert a.overlap_ratio(box([5, 5], [6, 6])) == 0.0
+        half = a.overlap_ratio(box([1, 0], [3, 2]))  # 2 / (4+4-2)
+        assert half == pytest.approx(2 / 6)
+
+    def test_overlap_ratio_degenerate_boxes(self):
+        point = MBR.from_point(np.array([1.0, 1.0]))
+        assert point.overlap_ratio(point) == 1.0  # intersecting, zero-volume
+        other = MBR.from_point(np.array([2.0, 2.0]))
+        assert point.overlap_ratio(other) == 0.0
+
+    def test_enlargement(self):
+        a = box([0, 0], [1, 1])
+        assert a.enlargement(box([0, 0], [1, 1])) == 0.0
+        assert a.enlargement(box([1, 0], [2, 1])) == pytest.approx(1.0)
+
+    def test_overlap_enlargement_with_siblings(self):
+        a = box([0, 0], [1, 1])
+        sibling = box([1.5, 0.0], [2.5, 1.0])
+        grow_to = box([1.9, 0.0], [2.0, 1.0])
+        delta = a.overlap_enlargement(grow_to, [sibling])
+        assert delta == pytest.approx(0.5)  # grown a overlaps sibling 0.5
+
+
+class TestMutation:
+    def test_extend_point(self):
+        b = box([0, 0], [1, 1])
+        b.extend_point(np.array([-1.0, 2.0]))
+        np.testing.assert_array_equal(b.lower, [-1.0, 0.0])
+        np.testing.assert_array_equal(b.upper, [1.0, 2.0])
+
+    def test_extend_box(self):
+        b = box([0, 0], [1, 1])
+        b.extend_box(box([2, 2], [3, 3]))
+        assert b.contains_box(box([2, 2], [3, 3]))
+
+    def test_equality(self):
+        assert box([0, 0], [1, 1]) == box([0, 0], [1, 1])
+        assert box([0, 0], [1, 1]) != box([0, 0], [1, 2])
+        assert box([0, 0], [1, 1]) != "not a box"
+
+
+class TestProperties:
+    @settings(max_examples=80)
+    @given(a=VEC3, b=VEC3, c=VEC3, d=VEC3)
+    def test_union_contains_both(self, a, b, c, d):
+        box1 = MBR(np.minimum(a, b), np.maximum(a, b))
+        box2 = MBR(np.minimum(c, d), np.maximum(c, d))
+        union = box1.union(box2)
+        assert union.contains_box(box1)
+        assert union.contains_box(box2)
+
+    @settings(max_examples=80)
+    @given(a=VEC3, b=VEC3, c=VEC3, d=VEC3)
+    def test_intersection_bounded_by_areas(self, a, b, c, d):
+        box1 = MBR(np.minimum(a, b), np.maximum(a, b))
+        box2 = MBR(np.minimum(c, d), np.maximum(c, d))
+        volume = box1.intersection_volume(box2)
+        assert volume <= box1.area() + 1e-6
+        assert volume <= box2.area() + 1e-6
+        assert volume >= 0.0
+
+    @settings(max_examples=80)
+    @given(a=VEC3, b=VEC3, c=VEC3, d=VEC3)
+    def test_overlap_ratio_in_unit_interval(self, a, b, c, d):
+        box1 = MBR(np.minimum(a, b), np.maximum(a, b))
+        box2 = MBR(np.minimum(c, d), np.maximum(c, d))
+        assert 0.0 <= box1.overlap_ratio(box2) <= 1.0 + 1e-9
+
+    @settings(max_examples=80)
+    @given(a=VEC3, b=VEC3, p=VEC3)
+    def test_enlargement_nonnegative(self, a, b, p):
+        box1 = MBR(np.minimum(a, b), np.maximum(a, b))
+        point = MBR.from_point(p)
+        assert box1.enlargement(point) >= -1e-9

@@ -1,0 +1,90 @@
+"""OD profiles (the diagnostic extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.od import ODEvaluator
+from repro.core.profile import compute_od_profile
+from repro.core.subspace import dims_of_mask, popcount
+from repro.index.linear import LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def outlier_evaluator():
+    generator = np.random.default_rng(6)
+    X = generator.normal(size=(150, 5))
+    X[0, 0] += 8.0
+    X[0, 1] += 8.0
+    return ODEvaluator(LinearScanIndex(X), X[0], 4, exclude=0)
+
+
+class TestProfileShape:
+    def test_levels_cover_lattice(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=10.0)
+        assert len(profile.levels) == 5
+        assert [p.level for p in profile.levels] == [1, 2, 3, 4, 5]
+
+    def test_max_is_monotone_across_levels(self, outlier_evaluator):
+        """OD monotonicity lifts to the per-level maximum."""
+        profile = compute_od_profile(outlier_evaluator, threshold=10.0)
+        maxima = [p.maximum for p in profile.levels]
+        assert maxima == sorted(maxima)
+
+    def test_minimum_is_monotone_too(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=10.0)
+        minima = [p.minimum for p in profile.levels]
+        assert minima == sorted(minima)
+
+    def test_argmax_mask_level_matches(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=10.0)
+        for level in profile.levels:
+            assert popcount(level.argmax_mask) == level.level
+
+    def test_argmax_points_at_planted_dims(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=10.0)
+        assert set(dims_of_mask(profile.levels[1].argmax_mask)) == {0, 1}
+
+    def test_max_level_truncation(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=10.0, max_level=2)
+        assert len(profile.levels) == 2
+
+
+class TestProfileSemantics:
+    def test_crossing_level(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=20.0)
+        crossing = profile.crossing_level
+        assert crossing is not None
+        for level in profile.levels:
+            if level.level < crossing:
+                assert level.maximum < 20.0
+            if level.level == crossing:
+                assert level.maximum >= 20.0
+
+    def test_no_crossing_when_threshold_huge(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=1e9)
+        assert profile.crossing_level is None
+        assert profile.margin < 0
+
+    def test_margin_sign(self, outlier_evaluator):
+        low = compute_od_profile(outlier_evaluator, threshold=1.0)
+        assert low.margin > 0
+
+    def test_outlying_fraction_bounds(self, outlier_evaluator):
+        profile = compute_od_profile(outlier_evaluator, threshold=15.0)
+        for level in profile.levels:
+            assert 0.0 <= level.outlying_fraction <= 1.0
+
+    def test_render_contains_marker(self, outlier_evaluator):
+        text = compute_od_profile(outlier_evaluator, threshold=15.0).render()
+        assert "OD profile" in text
+        assert "|" in text
+        assert "m= 5" in text or "m=5" in text.replace(" ", "")
+
+    def test_validation(self, outlier_evaluator):
+        with pytest.raises(ConfigurationError):
+            compute_od_profile(outlier_evaluator, threshold=-1.0)
+        with pytest.raises(ConfigurationError):
+            compute_od_profile(outlier_evaluator, threshold=1.0, max_level=9)

@@ -1,0 +1,114 @@
+"""Threshold-free normalised-OD ranking and dataset-wide mining."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.miner import HOSMiner
+from repro.core.od import ODEvaluator
+from repro.core.ranking import top_n_outlying_subspaces
+from repro.index.linear import LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def planted_evaluator():
+    generator = np.random.default_rng(3)
+    X = generator.normal(size=(200, 5))
+    X[0, 1] += 7.0
+    X[0, 3] += 7.0
+    return ODEvaluator(LinearScanIndex(X), X[0], 4, exclude=0)
+
+
+class TestRanking:
+    def test_top_subspace_hits_planted_dims(self, planted_evaluator):
+        ranking = top_n_outlying_subspaces(planted_evaluator, n=3)
+        assert set(ranking[0].subspace.dims) <= {1, 3}
+
+    def test_scores_descend(self, planted_evaluator):
+        ranking = top_n_outlying_subspaces(planted_evaluator, n=10)
+        scores = [entry.score for entry in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_raw_od_degenerates_to_full_space(self, planted_evaluator):
+        ranking = top_n_outlying_subspaces(planted_evaluator, n=1, normalize="none")
+        assert ranking[0].subspace.dimensionality == 5
+
+    def test_sqrt_dim_normalisation_value(self, planted_evaluator):
+        entry = top_n_outlying_subspaces(planted_evaluator, n=1)[0]
+        expected = entry.od / np.sqrt(entry.subspace.dimensionality)
+        assert entry.score == pytest.approx(expected)
+
+    def test_dim_normalisation_value(self, planted_evaluator):
+        entry = top_n_outlying_subspaces(planted_evaluator, n=1, normalize="dim")[0]
+        assert entry.score == pytest.approx(entry.od / entry.subspace.dimensionality)
+
+    def test_zscore_prefers_level_outliers(self, planted_evaluator):
+        ranking = top_n_outlying_subspaces(planted_evaluator, n=5, normalize="zscore")
+        # The planted pair should dominate its level's distribution.
+        assert any(set(e.subspace.dims) == {1, 3} for e in ranking)
+
+    def test_max_level_restricts(self, planted_evaluator):
+        ranking = top_n_outlying_subspaces(planted_evaluator, n=50, max_level=2)
+        assert all(entry.subspace.dimensionality <= 2 for entry in ranking)
+        assert len(ranking) == 5 + 10  # C(5,1) + C(5,2)
+
+    def test_deterministic(self, planted_evaluator):
+        a = top_n_outlying_subspaces(planted_evaluator, n=8)
+        b = top_n_outlying_subspaces(planted_evaluator, n=8)
+        assert [e.subspace.mask for e in a] == [e.subspace.mask for e in b]
+
+    def test_validation(self, planted_evaluator):
+        with pytest.raises(ConfigurationError):
+            top_n_outlying_subspaces(planted_evaluator, n=0)
+        with pytest.raises(ConfigurationError):
+            top_n_outlying_subspaces(planted_evaluator, n=3, normalize="log")
+        with pytest.raises(ConfigurationError):
+            top_n_outlying_subspaces(planted_evaluator, n=3, max_level=7)
+
+    def test_repr(self, planted_evaluator):
+        entry = top_n_outlying_subspaces(planted_evaluator, n=1)[0]
+        assert "RankedSubspace" in repr(entry)
+
+
+class TestDetectOutliers:
+    @pytest.fixture(scope="class")
+    def miner_and_truth(self):
+        generator = np.random.default_rng(9)
+        X = generator.normal(size=(300, 5))
+        X[0, 0] += 10.0
+        X[1, 2] += 9.0
+        X[1, 4] += 9.0
+        miner = HOSMiner(k=4, sample_size=3, threshold_quantile=0.99).fit(X)
+        return miner, [0, 1]
+
+    def test_planted_rows_detected_first(self, miner_and_truth):
+        miner, truth = miner_and_truth
+        detections = miner.detect_outliers()
+        rows = [row for row, _ in detections]
+        assert set(truth) <= set(rows)
+        # The two planted rows have the largest full-space ODs.
+        assert set(rows[:2]) == set(truth)
+
+    def test_results_are_full_query_results(self, miner_and_truth):
+        miner, _ = miner_and_truth
+        for row, result in miner.detect_outliers():
+            assert result.is_outlier
+            assert result.minimal
+
+    def test_max_results_truncates(self, miner_and_truth):
+        miner, _ = miner_and_truth
+        assert len(miner.detect_outliers(max_results=1)) == 1
+
+    def test_max_results_validated(self, miner_and_truth):
+        miner, _ = miner_and_truth
+        with pytest.raises(ConfigurationError):
+            miner.detect_outliers(max_results=0)
+
+    def test_detection_consistent_with_flagging(self, miner_and_truth):
+        """detect_outliers and per-row queries agree on who is an outlier."""
+        miner, _ = miner_and_truth
+        detected = {row for row, _ in miner.detect_outliers()}
+        for row in range(0, 300, 37):
+            assert (row in detected) == miner.query_row(row).is_outlier

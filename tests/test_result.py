@@ -1,0 +1,74 @@
+"""The user-facing OutlyingSubspaceResult object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import OutlyingSubspaceResult
+from repro.core.search import SearchStats
+from repro.core.subspace import Subspace
+
+
+def _result(minimal_dims, d=4, total=None, names=None):
+    minimal = [Subspace.from_dims(dims, d) for dims in minimal_dims]
+    return OutlyingSubspaceResult(
+        query=np.zeros(d),
+        d=d,
+        k=3,
+        threshold=5.0,
+        minimal=minimal,
+        total_outlying=total if total is not None else len(minimal),
+        od_values={s: 6.0 + i for i, s in enumerate(minimal)},
+        stats=SearchStats(od_evaluations=7),
+        feature_names=names,
+    )
+
+
+class TestBasics:
+    def test_is_outlier(self):
+        assert _result([(0, 2)]).is_outlier
+        assert not _result([]).is_outlier
+
+    def test_refinement_factor(self):
+        result = _result([(0,), (1,)], total=10)
+        assert result.refinement_factor == pytest.approx(5.0)
+        assert _result([]).refinement_factor == 1.0
+
+    def test_is_outlying_in_upward_closure(self):
+        result = _result([(0, 2)])
+        assert result.is_outlying_in(Subspace.from_dims((0, 2), 4))
+        assert result.is_outlying_in(Subspace.from_dims((0, 1, 2), 4))
+        assert not result.is_outlying_in(Subspace.from_dims((1, 3), 4))
+
+    def test_all_outlying_masks_matches_closure(self):
+        result = _result([(0,)])
+        assert len(result.all_outlying_masks()) == 8  # supersets of {0} in d=4
+
+
+class TestRendering:
+    def test_describe_subspace_default_names(self):
+        result = _result([(0, 2)])
+        assert result.describe_subspace(result.minimal[0]) == "{x1, x3}"
+
+    def test_describe_subspace_custom_names(self):
+        result = _result([(0, 2)], names=["temp", "hr", "bp", "o2"])
+        assert result.describe_subspace(result.minimal[0]) == "{temp, bp}"
+
+    def test_explain_outlier_lists_minimal(self):
+        text = _result([(0, 2)], total=5).explain()
+        assert "5 subspaces" in text
+        assert "[1, 3]" in text
+        assert "OD=6" in text
+
+    def test_explain_non_outlier(self):
+        text = _result([]).explain()
+        assert "NOT an outlier" in text
+
+    def test_explain_truncates(self):
+        result = _result([(i,) for i in range(4)], d=4)
+        text = result.explain(max_rows=2)
+        assert "and 2 more" in text
+
+    def test_repr(self):
+        assert "[1, 3]" in repr(_result([(0, 2)]))

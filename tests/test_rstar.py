@@ -1,0 +1,135 @@
+"""R*-tree: structural invariants and exact query parity with the scan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.index.linear import LinearScanIndex
+from repro.index.rstar import RStarTree
+
+
+def _data(seed, n=250, d=4, clusters=True):
+    generator = np.random.default_rng(seed)
+    X = generator.normal(size=(n, d))
+    if clusters:
+        X += generator.choice([-6.0, 0.0, 6.0], size=(n, 1))
+    return X
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("reinsert", [0.0, 0.3])
+    @pytest.mark.parametrize("max_entries", [4, 8, 32])
+    def test_invariants_after_incremental_build(self, max_entries, reinsert):
+        X = _data(1, n=200)
+        tree = RStarTree(X, max_entries=max_entries, reinsert_fraction=reinsert)
+        tree.validate()
+        assert tree.size == 200
+
+    def test_invariants_after_str_bulk_load(self):
+        X = _data(2, n=300)
+        tree = RStarTree(X, max_entries=16, bulk_load="str")
+        tree.validate()
+
+    def test_single_point_tree(self):
+        tree = RStarTree(np.array([[1.0, 2.0]]))
+        tree.validate()
+        assert tree.height() == 1
+        indices, distances = tree.knn(np.array([0.0, 0.0]), 1, (0, 1))
+        assert list(indices) == [0]
+
+    def test_parameter_validation(self):
+        X = _data(0, n=20)
+        with pytest.raises(ConfigurationError):
+            RStarTree(X, max_entries=3)
+        with pytest.raises(ConfigurationError):
+            RStarTree(X, min_fill=0.7)
+        with pytest.raises(ConfigurationError):
+            RStarTree(X, reinsert_fraction=0.6)
+        with pytest.raises(ConfigurationError):
+            RStarTree(X, bulk_load="hilbert")
+
+    def test_tree_grows_in_height(self):
+        X = _data(3, n=600)
+        tree = RStarTree(X, max_entries=8)
+        assert tree.height() >= 3
+        assert tree.leaf_count() > 1
+        assert tree.node_count() > tree.leaf_count()
+
+    def test_repr(self):
+        tree = RStarTree(_data(0, n=30))
+        assert "RStarTree" in repr(tree)
+
+
+class TestQueryParity:
+    """Tree answers must equal the linear scan bit-for-bit."""
+
+    @pytest.mark.parametrize("bulk", [None, "str"])
+    def test_knn_parity_fixed(self, bulk):
+        X = _data(7, n=300, d=5)
+        tree = RStarTree(X, max_entries=12, bulk_load=bulk)
+        scan = LinearScanIndex(X)
+        for row in [0, 13, 77]:
+            for dims in [(0,), (1, 3), (0, 2, 4), (0, 1, 2, 3, 4)]:
+                ti, td = tree.knn(X[row], 8, dims, exclude=row)
+                si, sd = scan.knn(X[row], 8, dims, exclude=row)
+                assert list(ti) == list(si)
+                np.testing.assert_allclose(td, sd)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        k=st.integers(1, 10),
+        row=st.integers(0, 149),
+    )
+    def test_knn_parity_property(self, seed, k, row):
+        X = _data(seed, n=150, d=4)
+        tree = RStarTree(X, max_entries=8)
+        scan = LinearScanIndex(X)
+        generator = np.random.default_rng(seed + 1)
+        size = int(generator.integers(1, 5))
+        dims = tuple(sorted(generator.choice(4, size=size, replace=False)))
+        ti, td = tree.knn(X[row], k, dims, exclude=row)
+        si, sd = scan.knn(X[row], k, dims, exclude=row)
+        assert list(ti) == list(si)
+        np.testing.assert_allclose(td, sd)
+
+    def test_range_parity(self):
+        X = _data(11, n=250, d=4)
+        tree = RStarTree(X, max_entries=10)
+        scan = LinearScanIndex(X)
+        for radius in [0.1, 1.0, 5.0, 100.0]:
+            tr = tree.range_query(X[5], radius, (0, 2), exclude=5)
+            sr = scan.range_query(X[5], radius, (0, 2), exclude=5)
+            assert sorted(tr) == sorted(sr)
+
+    def test_external_query_point(self):
+        X = _data(13, n=200, d=3)
+        tree = RStarTree(X, max_entries=8)
+        scan = LinearScanIndex(X)
+        q = np.array([50.0, -50.0, 0.0])  # far outside every box
+        ti, _ = tree.knn(q, 5, (0, 1, 2))
+        si, _ = scan.knn(q, 5, (0, 1, 2))
+        assert list(ti) == list(si)
+
+
+class TestAccounting:
+    def test_knn_visits_fewer_nodes_than_full_traversal(self):
+        X = _data(17, n=500, d=3)
+        tree = RStarTree(X, max_entries=8)
+        tree.stats.reset()
+        tree.knn(X[0], 5, (0, 1, 2), exclude=0)
+        assert 0 < tree.stats.node_accesses < tree.node_count()
+        assert tree.stats.distance_computations < tree.size
+        assert tree.stats.knn_queries == 1
+
+    def test_range_accounting(self):
+        X = _data(19, n=300, d=3)
+        tree = RStarTree(X, max_entries=8)
+        tree.stats.reset()
+        tree.range_query(X[0], 0.5, (0, 1))
+        assert tree.stats.range_queries == 1
+        assert tree.stats.node_accesses > 0

@@ -1,0 +1,143 @@
+"""Saving-factor definitions, the paper's worked examples, and TSF."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError, DimensionalityError
+from repro.core.savings import (
+    TSFInputs,
+    downward_saving_factor,
+    total_saving_factor,
+    total_workload,
+    upward_saving_factor,
+    workload_above,
+    workload_below,
+)
+
+
+class TestWorkedExamples:
+    """The exact numbers printed in Section 3.1 of the paper (d = 4)."""
+
+    def test_dsf_of_a_3d_subspace_is_9(self):
+        # DSF([1,2,3]) = C(3,1)*1 + C(3,2)*2 = 9
+        assert downward_saving_factor(3) == 9
+
+    def test_usf_of_a_2d_subspace_in_d4_is_10(self):
+        # USF([1,4]) = C(2,1)*(2+1) + C(2,2)*(2+2) = 10
+        assert upward_saving_factor(2, 4) == 10
+
+
+class TestClosedForms:
+    @given(st.integers(1, 16))
+    def test_dsf_closed_form(self, m):
+        assert downward_saving_factor(m) == m * (2 ** (m - 1) - 1)
+
+    @given(st.integers(1, 16))
+    def test_total_workload_closed_form(self, d):
+        assert total_workload(d) == sum(comb(d, i) * i for i in range(1, d + 1))
+        assert total_workload(d) == d * 2 ** (d - 1)
+
+    @given(st.integers(1, 14), st.integers(1, 14))
+    def test_workload_partition_identity(self, m, d):
+        """Below-m + level-m + above-m workloads must cover everything."""
+        if m > d:
+            m, d = d, m
+        level_m = comb(d, m) * m
+        assert workload_below(m, d) + level_m + workload_above(m, d) == total_workload(d)
+
+    @given(st.integers(1, 14), st.integers(1, 14))
+    def test_usf_is_workload_of_supersets(self, m, d):
+        """USF(m, d) equals the summed evaluation cost of the supersets of
+        one m-dimensional subspace."""
+        if m > d:
+            m, d = d, m
+        expected = sum(comb(d - m, i) * (m + i) for i in range(1, d - m + 1))
+        assert upward_saving_factor(m, d) == expected
+
+    def test_boundaries(self):
+        assert downward_saving_factor(1) == 0  # no subsets below level 1
+        assert upward_saving_factor(5, 5) == 0  # no supersets above level d
+
+
+class TestValidation:
+    def test_dsf_rejects_nonpositive(self):
+        with pytest.raises(DimensionalityError):
+            downward_saving_factor(0)
+
+    def test_usf_rejects_m_above_d(self):
+        with pytest.raises(DimensionalityError):
+            upward_saving_factor(5, 4)
+
+    def test_workloads_reject_bad_args(self):
+        with pytest.raises(DimensionalityError):
+            workload_below(0, 4)
+        with pytest.raises(DimensionalityError):
+            workload_above(5, 4)
+        with pytest.raises(DimensionalityError):
+            total_workload(0)
+
+
+class TestTSF:
+    def _inputs(self, m, d, p_up=0.5, p_down=0.5, below=None, above=None):
+        return TSFInputs(
+            m=m,
+            d=d,
+            p_up=p_up,
+            p_down=p_down,
+            remaining_below=workload_below(m, d) if below is None else below,
+            remaining_above=workload_above(m, d) if above is None else above,
+        )
+
+    def test_level_1_uses_only_up_term(self):
+        inputs = self._inputs(1, 4, p_up=1.0, p_down=1.0)
+        assert total_saving_factor(inputs) == pytest.approx(
+            upward_saving_factor(1, 4)
+        )
+
+    def test_level_d_uses_only_down_term(self):
+        inputs = self._inputs(4, 4, p_up=1.0, p_down=1.0)
+        assert total_saving_factor(inputs) == pytest.approx(downward_saving_factor(4))
+
+    def test_interior_level_sums_both_terms(self):
+        inputs = self._inputs(2, 4, p_up=0.5, p_down=0.5)
+        expected = 0.5 * downward_saving_factor(2) + 0.5 * upward_saving_factor(2, 4)
+        assert total_saving_factor(inputs) == pytest.approx(expected)
+
+    def test_remaining_workload_scales_terms(self):
+        full = total_saving_factor(self._inputs(2, 4, p_up=0.0, p_down=1.0))
+        half = total_saving_factor(
+            self._inputs(2, 4, p_up=0.0, p_down=1.0, below=workload_below(2, 4) // 2)
+        )
+        assert half == pytest.approx(full * 0.5)
+
+    def test_exhausted_side_contributes_zero(self):
+        inputs = self._inputs(3, 4, p_up=1.0, p_down=1.0, below=0, above=0)
+        assert total_saving_factor(inputs) == 0.0
+
+    def test_zero_probability_kills_term(self):
+        only_up = total_saving_factor(self._inputs(2, 4, p_up=1.0, p_down=0.0))
+        assert only_up == pytest.approx(upward_saving_factor(2, 4))
+
+    @given(
+        st.integers(1, 10),
+        st.integers(1, 10),
+        st.floats(0, 1),
+        st.floats(0, 1),
+    )
+    def test_tsf_nonnegative(self, m, d, p_up, p_down):
+        if m > d:
+            m, d = d, m
+        assert total_saving_factor(self._inputs(m, d, p_up, p_down)) >= 0.0
+
+    def test_inputs_validation(self):
+        with pytest.raises(DimensionalityError):
+            TSFInputs(m=0, d=4, p_up=0.5, p_down=0.5, remaining_below=0, remaining_above=0)
+        with pytest.raises(ConfigurationError):
+            TSFInputs(m=2, d=4, p_up=1.5, p_down=0.5, remaining_below=0, remaining_above=0)
+        with pytest.raises(ConfigurationError):
+            TSFInputs(m=2, d=4, p_up=0.5, p_down=0.5, remaining_below=-1, remaining_above=0)

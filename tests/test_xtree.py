@@ -1,0 +1,125 @@
+"""X-tree: supernode formation, split decisions, query parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.index.linear import LinearScanIndex
+from repro.index.mbr import MBR
+from repro.index.xtree import XTree
+
+
+def _uniform(seed, n, d):
+    return np.random.default_rng(seed).uniform(size=(n, d))
+
+
+def _clustered(seed, n, d):
+    generator = np.random.default_rng(seed)
+    return generator.normal(size=(n, d)) + generator.choice(
+        [-8.0, 0.0, 8.0], size=(n, 1)
+    )
+
+
+class TestConstruction:
+    def test_invariants(self):
+        tree = XTree(_uniform(0, 400, 8), max_entries=8)
+        tree.validate()
+
+    def test_parameter_validation(self):
+        X = _uniform(0, 30, 3)
+        with pytest.raises(ConfigurationError):
+            XTree(X, max_overlap=1.5)
+        with pytest.raises(ConfigurationError):
+            XTree(X, min_fanout=0.0)
+
+    def test_no_forced_reinsert(self):
+        tree = XTree(_uniform(1, 100, 4))
+        assert tree.reinsert_fraction == 0.0
+
+
+class TestSupernodes:
+    def test_uniform_high_d_creates_supernodes(self):
+        """The X-tree paper's regime: uniform high-dimensional data makes
+        overlap-free directory splits impossible, forcing supernodes."""
+        tree = XTree(_uniform(3, 2000, 16), max_entries=8)
+        tree.validate()
+        assert tree.supernode_count() > 0
+        assert tree.max_supernode_blocks() > 1
+        assert tree.stats.extra.get("supernodes_created", 0) > 0
+
+    def test_clustered_low_d_avoids_supernodes(self):
+        """Well-separated clusters split cleanly — no supernodes needed."""
+        tree = XTree(_clustered(4, 1000, 4), max_entries=16)
+        tree.validate()
+        assert tree.supernode_count() == 0
+
+    def test_supernode_capacity_respected(self):
+        tree = XTree(_uniform(5, 1500, 16), max_entries=8)
+        for node in tree.root.iter_subtree():
+            assert node.entry_count() <= node.blocks * tree.max_entries
+
+    def test_split_history_recorded(self):
+        tree = XTree(_clustered(6, 500, 4), max_entries=8)
+        split_dims = set()
+        for node in tree.root.iter_subtree():
+            split_dims |= node.split_dims
+        assert split_dims  # some splits happened and were recorded
+        assert all(0 <= dim < 4 for dim in split_dims)
+
+
+class TestOverlapMinimalSplit:
+    def test_separable_boxes_split_with_zero_overlap(self):
+        tree = XTree(_uniform(0, 50, 2), max_entries=8)
+        # Two groups of boxes, cleanly separable along axis 0.
+        boxes = [
+            MBR(np.array([x, 0.0]), np.array([x + 0.5, 1.0]))
+            for x in [0.0, 1.0, 2.0, 10.0, 11.0, 12.0]
+        ]
+        result = tree._overlap_minimal_split(boxes)
+        assert result is not None
+        group_a, group_b, axis = result
+        assert axis == 0
+        assert {len(group_a), len(group_b)} == {3}
+
+    def test_identical_boxes_cannot_split(self):
+        tree = XTree(_uniform(0, 50, 2), max_entries=8)
+        boxes = [MBR(np.zeros(2), np.ones(2)) for _ in range(6)]
+        assert tree._overlap_minimal_split(boxes) is None
+
+    def test_too_few_entries_for_balance(self):
+        tree = XTree(_uniform(0, 50, 2), max_entries=8, min_fanout=0.5)
+        boxes = [MBR(np.zeros(2), np.ones(2))]
+        assert tree._overlap_minimal_split(boxes) is None
+
+
+class TestQueryParity:
+    def test_knn_parity_with_scan(self):
+        X = _uniform(9, 800, 10)
+        tree = XTree(X, max_entries=8)
+        scan = LinearScanIndex(X)
+        for row in [0, 111, 555]:
+            for dims in [(0, 5), (1, 2, 3), tuple(range(10))]:
+                ti, td = tree.knn(X[row], 6, dims, exclude=row)
+                si, sd = scan.knn(X[row], 6, dims, exclude=row)
+                assert list(ti) == list(si)
+                np.testing.assert_allclose(td, sd)
+
+    def test_parity_survives_supernodes(self):
+        X = _uniform(10, 1500, 16)
+        tree = XTree(X, max_entries=8)
+        assert tree.supernode_count() > 0  # precondition for the test
+        scan = LinearScanIndex(X)
+        for row in [0, 700]:
+            ti, _ = tree.knn(X[row], 9, (0, 4, 9, 15), exclude=row)
+            si, _ = scan.knn(X[row], 9, (0, 4, 9, 15), exclude=row)
+            assert list(ti) == list(si)
+
+    def test_range_parity(self):
+        X = _uniform(12, 600, 8)
+        tree = XTree(X, max_entries=8)
+        scan = LinearScanIndex(X)
+        tr = tree.range_query(X[3], 0.4, (0, 1, 2), exclude=3)
+        sr = scan.range_query(X[3], 0.4, (0, 1, 2), exclude=3)
+        assert sorted(tr) == sorted(sr)
