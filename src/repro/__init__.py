@@ -20,6 +20,8 @@ Quickstart::
 """
 
 from repro.core import (
+    BatchQueryEngine,
+    BatchResult,
     DynamicSubspaceSearch,
     HOSMiner,
     HOSMinerConfig,
@@ -29,6 +31,7 @@ from repro.core import (
     PruningPriors,
     SearchOutcome,
     SearchStats,
+    SharedODCache,
     Subspace,
     calibrate_threshold,
     learn_priors,
@@ -37,9 +40,11 @@ from repro.core import (
 )
 from repro.index import LinearScanIndex, RStarTree, XTree, make_backend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchQueryEngine",
+    "BatchResult",
     "DynamicSubspaceSearch",
     "HOSMiner",
     "HOSMinerConfig",
@@ -51,6 +56,7 @@ __all__ = [
     "RStarTree",
     "SearchOutcome",
     "SearchStats",
+    "SharedODCache",
     "Subspace",
     "XTree",
     "__version__",

@@ -23,7 +23,7 @@ from repro.bench.harness import Experiment, timed
 from repro.bench.measures import planted_recovery, set_scores
 from repro.bench.workloads import SEED, Workload, planted_workload, standard_miner
 from repro.core.filtering import minimal_masks
-from repro.core.miner import HOSMiner, calibrate_threshold
+from repro.core.miner import HOSMiner
 from repro.core.od import ODEvaluator
 from repro.core.priors import PruningPriors
 from repro.core.savings import downward_saving_factor, upward_saving_factor

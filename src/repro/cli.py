@@ -11,6 +11,11 @@ Subcommands
 ``detect``
     Fit on a CSV file and list every row that is an outlier in *some*
     subspace, strongest first.
+``batch``
+    Fit on a CSV file and answer many queries at once through the
+    batched multi-query engine — rows of the fitted dataset, the rows
+    of a second query CSV, or both; ``--workers`` fans the batch out to
+    worker processes.
 ``experiment``
     Run one (or all) of the DESIGN.md experiments and print its table;
     ``--full`` uses the complete parameter grids, ``--save`` writes the
@@ -21,6 +26,8 @@ Examples::
     hos-miner demo
     hos-miner query data.csv --row 3 --k 5 --quantile 0.99 --profile
     hos-miner detect data.csv --normalize --top 10
+    hos-miner batch data.csv --queries new_points.csv --workers 4
+    hos-miner batch data.csv --all-rows --explain
     hos-miner experiment e1 --full --save
 """
 
@@ -95,6 +102,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument(
         "--normalize", action="store_true", help="z-score the data before mining"
+    )
+
+    batch = subparsers.add_parser(
+        "batch", help="answer many queries at once via the batched engine"
+    )
+    batch.add_argument("csv", help="numeric CSV file with a header row (fit data)")
+    batch.add_argument(
+        "--queries", default=None,
+        help="CSV of external query points (same columns as the fit data)",
+    )
+    batch.add_argument(
+        "--rows", default=None,
+        help="comma-separated dataset rows to query, e.g. 0,3,17",
+    )
+    batch.add_argument(
+        "--all-rows", action="store_true", help="query every dataset row"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the batch (default 1 = in-process)",
+    )
+    batch.add_argument("--k", type=int, default=5, help="neighbour count (default 5)")
+    batch.add_argument(
+        "--threshold", type=float, default=None,
+        help="distance threshold T (default: calibrated from --quantile)",
+    )
+    batch.add_argument(
+        "--quantile", type=float, default=0.995,
+        help="full-space OD quantile for auto T (default 0.995)",
+    )
+    batch.add_argument(
+        "--index", choices=["linear", "rstar", "xtree", "vafile"], default="linear",
+        help="kNN backend (default linear)",
+    )
+    batch.add_argument(
+        "--sample-size", type=int, default=10, help="learning sample size S (default 10)"
+    )
+    batch.add_argument(
+        "--normalize", action="store_true",
+        help="z-score the fit data (and map query points into the fitted scale)",
+    )
+    batch.add_argument(
+        "--explain", action="store_true",
+        help="print the per-point explanation for every outlier in the batch",
     )
 
     experiment = subparsers.add_parser(
@@ -192,6 +243,54 @@ def _run_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_batch(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data.normalize import ZScoreScaler
+
+    dataset = load_csv(args.csv)
+    scaler = ZScoreScaler().fit(dataset.X) if args.normalize else None
+    X = scaler.transform(dataset.X) if scaler is not None else dataset.X
+    miner = HOSMiner(
+        k=args.k,
+        threshold=args.threshold,
+        threshold_quantile=args.quantile,
+        index=args.index,
+        sample_size=args.sample_size,
+    ).fit(X, feature_names=dataset.feature_names)
+    print(f"fitted on {dataset.n} rows x {dataset.d} columns; T = {miner.threshold_:.4g}")
+
+    targets: list = []
+    if args.all_rows:
+        targets.extend(range(dataset.n))
+    elif args.rows is not None:
+        try:
+            targets.extend(int(row) for row in args.rows.split(","))
+        except ValueError:
+            raise HOSMinerError(
+                f"--rows must be comma-separated integers, got {args.rows!r}"
+            ) from None
+    if args.queries is not None:
+        query_set = load_csv(args.queries)
+        if query_set.d != dataset.d:
+            raise HOSMinerError(
+                f"query CSV has {query_set.d} columns, the fit data has {dataset.d}"
+            )
+        Q = scaler.transform(query_set.X) if scaler is not None else query_set.X
+        targets.extend(np.asarray(row, dtype=np.float64) for row in Q)
+    if not targets:
+        raise HOSMinerError("nothing to query: pass --queries, --rows or --all-rows")
+
+    result = miner.query_batch(targets, workers=args.workers)
+    print(result.summary())
+    if args.explain:
+        for position, point_result in enumerate(result):
+            if point_result.is_outlier:
+                print(f"\ntarget {position}:")
+                print(point_result.explain())
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     ids = sorted(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
     for experiment_id in ids:
@@ -213,6 +312,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _run_query(args)
         if args.command == "detect":
             return _run_detect(args)
+        if args.command == "batch":
+            return _run_batch(args)
         if args.command == "experiment":
             return _run_experiment(args)
     except HOSMinerError as error:

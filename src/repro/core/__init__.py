@@ -13,6 +13,7 @@ Modules map one-to-one onto the paper's sections:
 ======================  =========================================
 """
 
+from repro.core.batch import BatchQueryEngine
 from repro.core.config import HOSMinerConfig
 from repro.core.exceptions import (
     ConfigurationError,
@@ -34,11 +35,11 @@ from repro.core.metrics import (
     get_metric,
 )
 from repro.core.miner import HOSMiner, calibrate_threshold
-from repro.core.od import ODEvaluator, outlying_degree
+from repro.core.od import ODEvaluator, SharedODCache, outlying_degree
 from repro.core.priors import PruningPriors
 from repro.core.profile import LevelProfile, ODProfile, compute_od_profile
 from repro.core.ranking import RankedSubspace, top_n_outlying_subspaces
-from repro.core.result import OutlyingSubspaceResult
+from repro.core.result import BatchResult, OutlyingSubspaceResult
 from repro.core.savings import (
     downward_saving_factor,
     total_saving_factor,
@@ -49,6 +50,8 @@ from repro.core.search import DynamicSubspaceSearch, SearchOutcome, SearchStats
 from repro.core.subspace import Subspace
 
 __all__ = [
+    "BatchQueryEngine",
+    "BatchResult",
     "ChebyshevMetric",
     "ConfigurationError",
     "DataShapeError",
@@ -72,6 +75,7 @@ __all__ = [
     "SearchBudgetExceeded",
     "SearchOutcome",
     "SearchStats",
+    "SharedODCache",
     "Subspace",
     "TSFInputs",
     "calibrate_threshold",

@@ -1,0 +1,402 @@
+"""Batched multi-query engine: many lattice searches, shared kNN work.
+
+The paper's system answers one query point at a time; a traffic-serving
+deployment receives *streams* of query points against one fitted model.
+:class:`BatchQueryEngine` drives many
+:class:`~repro.core.search.DynamicSubspaceSearch` runs concurrently in
+lock-step rounds:
+
+1. every still-active search announces (via its
+   :meth:`~repro.core.search.DynamicSubspaceSearch.run_stepped`
+   coroutine) the subspace masks it needs OD values for next;
+2. requests already answered by the per-fit
+   :class:`~repro.core.od.SharedODCache` are replayed for free —
+   fit-time calibration and learning populate that cache, so querying a
+   row the learning pass already searched costs zero new kNN work;
+3. the remaining requests are grouped by mask, coalesced over identical
+   query points (duplicate points in a traffic batch pay once), and
+   served with one vectorised
+   :meth:`~repro.index.base.KnnBackend.knn_batch` call per mask.
+
+Because ``run_stepped`` replays exactly the sequential decision process
+and every supplied OD value is exactly what the backend would have
+returned, the per-point results are **identical** to sequential
+``query_point``/``query_row`` calls — element-wise, including tie
+order — while the hot distance kernels run batch-wide and repeated work
+is shared (property-tested in ``tests/test_batch.py``).
+
+An optional ``workers=N`` mode fans the batch out to worker processes,
+each running the same in-process engine over a slice of the targets.
+Worker processes hold their own copy of the fitted miner, so cache
+sharing is per-worker; answers are unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.od import ODEvaluator, SharedODCache
+from repro.core.result import BatchResult, OutlyingSubspaceResult
+from repro.core.search import SearchOutcome, SearchStats
+from repro.core.subspace import dims_of_mask
+from repro.index.base import validate_query_matrix
+
+if TYPE_CHECKING:
+    from repro.core.miner import HOSMiner
+
+__all__ = ["BatchQueryEngine"]
+
+
+@dataclass(slots=True)
+class _SearchState:
+    """Bookkeeping of one in-flight search inside the round loop."""
+
+    gen: Generator[list[int], "dict[int, float]", SearchOutcome]
+    evaluator: ODEvaluator
+    pending: list[int] = field(default_factory=list)
+    values: dict[int, float] = field(default_factory=dict)
+    outcome: SearchOutcome | None = None
+    #: Per-dimension distance contribution matrix (n, d), allocated
+    #: lazily for eval-heavy searches and dropped on completion.
+    components: np.ndarray | None = None
+
+
+#: Ceiling on the memory held in per-state component matrices at any
+#: moment. Components are only profitable for searches that evaluate
+#: many subspaces, and those are exactly the searches that survive the
+#: first rounds — typically a small fraction of the batch — so this
+#: budget is rarely binding; when it is, the engine simply recomputes
+#: distances the sequential way.
+COMPONENT_BUDGET_BYTES = 256 * 2**20
+
+
+# Worker-process state for the ``workers=N`` mode. The miner is shipped
+# once per worker through the pool initializer (cheap under fork, one
+# pickle under spawn) instead of once per task.
+_WORKER_MINER: "HOSMiner | None" = None
+
+
+def _init_worker(miner: "HOSMiner") -> None:
+    global _WORKER_MINER
+    _WORKER_MINER = miner
+
+
+def _run_worker_chunk(
+    queries: np.ndarray, excludes: "list[int | None]"
+) -> tuple[list[OutlyingSubspaceResult], int, int]:
+    engine = BatchQueryEngine(_WORKER_MINER)
+    return engine._run_inprocess(queries, excludes)
+
+
+class BatchQueryEngine:
+    """Drive many subspace searches against one fitted miner.
+
+    Parameters
+    ----------
+    miner:
+        A fitted :class:`~repro.core.miner.HOSMiner`.
+    workers:
+        Worker processes; 1 (default) runs in-process. Multi-worker mode
+        is most useful for large batches of *external* points on
+        multi-core machines — each worker pays a one-time miner
+        transfer, then serves its slice independently.
+    """
+
+    def __init__(self, miner: "HOSMiner", workers: int = 1) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.miner = miner
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+    def run(self, targets) -> BatchResult:
+        """Answer every target; see :meth:`HOSMiner.query_batch`."""
+        start = time.perf_counter()
+        queries, excludes = self._normalize_targets(targets)
+        if self.workers > 1 and queries.shape[0] > 1:
+            results, knn_evaluations, shared_hits = self._run_multiprocess(
+                queries, excludes
+            )
+            workers = min(self.workers, queries.shape[0])
+        else:
+            results, knn_evaluations, shared_hits = self._run_inprocess(
+                queries, excludes
+            )
+            workers = 1
+        stats = self._aggregate_stats(results)
+        wall_time = time.perf_counter() - start
+        stats.wall_time_s = wall_time
+        return BatchResult(
+            results=results,
+            stats=stats,
+            knn_evaluations=knn_evaluations,
+            shared_cache_hits=shared_hits,
+            wall_time_s=wall_time,
+            workers=workers,
+        )
+
+    # ------------------------------------------------------------------
+    def _normalize_targets(self, targets) -> tuple[np.ndarray, "list[int | None]"]:
+        """Resolve a heterogeneous target spec into ``(queries, excludes)``.
+
+        Accepted forms: a 2-D ``(m, d)`` matrix of external points, a
+        1-D integer array / sequence of dataset row ids, a single 1-D
+        float vector (one external point), or a mixed sequence of row
+        ids and vectors. Validation happens here, once, up front —
+        malformed targets raise
+        :class:`~repro.core.exceptions.DataShapeError` (shapes) or
+        :class:`~repro.core.exceptions.ConfigurationError` (row range)
+        before any search starts.
+        """
+        miner = self.miner
+        X = miner.backend_.data
+        d = miner.d_
+
+        if isinstance(targets, np.ndarray):
+            if targets.ndim == 1 and np.issubdtype(targets.dtype, np.integer):
+                targets = [int(row) for row in targets]
+            elif targets.ndim == 1:
+                targets = [targets]
+            else:
+                matrix = validate_query_matrix(targets, d)
+                return matrix, [None] * matrix.shape[0]
+
+        rows: list[np.ndarray] = []
+        excludes: list[int | None] = []
+        for target in targets:
+            if isinstance(target, (int, np.integer)):
+                row = int(target)
+                if not 0 <= row < X.shape[0]:
+                    raise ConfigurationError(
+                        f"row {row} out of range for n={X.shape[0]}"
+                    )
+                rows.append(X[row])
+                excludes.append(row)
+            else:
+                rows.append(ODEvaluator._validate_query(target, d))
+                excludes.append(None)
+        if not rows:
+            return np.empty((0, d), dtype=np.float64), []
+        return np.ascontiguousarray(np.vstack(rows)), excludes
+
+    # ------------------------------------------------------------------
+    def _run_inprocess(
+        self, queries: np.ndarray, excludes: "list[int | None]"
+    ) -> tuple[list[OutlyingSubspaceResult], int, int]:
+        miner = self.miner
+        backend = miner.backend_
+        cache = miner.od_cache_
+        k = miner.config.k
+
+        states: list[_SearchState] = []
+        for query, exclude in zip(queries, excludes):
+            evaluator = ODEvaluator(
+                backend, query, k, exclude=exclude, shared_cache=cache
+            )
+            states.append(
+                _SearchState(
+                    gen=miner._make_search(evaluator).run_stepped(),
+                    evaluator=evaluator,
+                )
+            )
+
+        active: list[int] = []
+        for i, state in enumerate(states):
+            # d >= 1 guarantees the first step always requests something.
+            state.pending = next(state.gen)
+            active.append(i)
+
+        supports_sums = hasattr(backend, "knn_distance_sums")
+        supports_components = hasattr(backend, "distance_components")
+        component_bytes = 0
+        dims_cache: dict[int, np.ndarray] = {}
+
+        def dims_for(mask: int) -> np.ndarray:
+            dims = dims_cache.get(mask)
+            if dims is None:
+                dims = np.asarray(dims_of_mask(mask), dtype=np.intp)
+                dims_cache[mask] = dims
+            return dims
+
+        while active:
+            # Split each search's requests into cache replays and misses.
+            # Misses are indexed both ways: by mask (cross-query axis)
+            # and by search (cross-subspace axis).
+            need_map: dict[int, list[int]] = {}
+            needs_by_state: dict[int, list[int]] = {}
+            for i in active:
+                state = states[i]
+                state.values = {}
+                for mask in state.pending:
+                    value = state.evaluator.cached_od(mask)
+                    if value is None:
+                        need_map.setdefault(mask, []).append(i)
+                        needs_by_state.setdefault(i, []).append(mask)
+                    else:
+                        state.values[mask] = value
+
+            # Pick the vectorisation axis with fewer kernel launches.
+            # Early rounds are query-wide and mask-narrow (every search
+            # wants the same level) — group queries per mask. Late
+            # rounds are the opposite (few surviving searches, each
+            # expanding a whole level) — group masks per query, where
+            # the per-state component matrix also pays off.
+            by_state = supports_sums and 0 < len(needs_by_state) < len(need_map)
+
+            if by_state:
+                # Identical query points run in lockstep, so coalesce
+                # them here too: the first state with a given point key
+                # computes, the rest replay through the shared cache.
+                seen_round_keys: set[tuple[str, object]] = set()
+                duplicates: list[int] = []
+                for i, masks in needs_by_state.items():
+                    state = states[i]
+                    key = SharedODCache.point_key(state.evaluator.query, excludes[i])
+                    if key in seen_round_keys:
+                        duplicates.append(i)
+                        continue
+                    seen_round_keys.add(key)
+                    if (
+                        supports_components
+                        and state.components is None
+                        and len(masks) > 1
+                    ):
+                        needed = queries.shape[1] * backend.size * 8
+                        if component_bytes + needed <= COMPONENT_BUDGET_BYTES:
+                            state.components = backend.distance_components(
+                                state.evaluator.query
+                            )
+                            if state.components is not None:
+                                component_bytes += needed
+                    values = backend.knn_distance_sums(
+                        state.evaluator.query,
+                        k,
+                        [dims_for(mask) for mask in masks],
+                        exclude=excludes[i],
+                        components=state.components,
+                    )
+                    for mask, value in zip(masks, values):
+                        value = float(value)
+                        state.evaluator.prime(mask, value)
+                        state.values[mask] = value
+                for i in duplicates:
+                    state = states[i]
+                    leftovers = []
+                    for mask in needs_by_state[i]:
+                        value = state.evaluator.cached_od(mask)
+                        if value is None:
+                            leftovers.append(mask)
+                        else:
+                            state.values[mask] = value
+                    if leftovers:
+                        # Defensive: a duplicate whose trajectory
+                        # diverged (should not happen) computes its own.
+                        values = backend.knn_distance_sums(
+                            state.evaluator.query,
+                            k,
+                            [dims_for(mask) for mask in leftovers],
+                            exclude=excludes[i],
+                            components=state.components,
+                        )
+                        for mask, value in zip(leftovers, values):
+                            value = float(value)
+                            state.evaluator.prime(mask, value)
+                            state.values[mask] = value
+            else:
+                for mask, needers in need_map.items():
+                    # Coalesce identical query points: one representative
+                    # evaluation per distinct point, replayed to
+                    # duplicates through the shared cache.
+                    representatives: list[int] = []
+                    seen_keys: set[tuple[str, object]] = set()
+                    for i in needers:
+                        key = SharedODCache.point_key(
+                            states[i].evaluator.query, excludes[i]
+                        )
+                        if key not in seen_keys:
+                            seen_keys.add(key)
+                            representatives.append(i)
+                    answers = backend.knn_batch(
+                        queries[representatives],
+                        k,
+                        dims_for(mask),
+                        excludes=[excludes[i] for i in representatives],
+                    )
+                    for i, (_, distances) in zip(representatives, answers):
+                        value = float(distances.sum())
+                        states[i].evaluator.prime(mask, value)
+                        states[i].values[mask] = value
+                    for i in needers:
+                        if mask not in states[i].values:
+                            states[i].values[mask] = states[i].evaluator.cached_od(mask)
+
+            still_active: list[int] = []
+            for i in active:
+                state = states[i]
+                try:
+                    state.pending = state.gen.send(state.values)
+                    still_active.append(i)
+                except StopIteration as stop:
+                    state.outcome = stop.value
+                    if state.components is not None:
+                        component_bytes -= queries.shape[1] * backend.size * 8
+                        state.components = None
+            active = still_active
+
+        results = [
+            miner._build_result(state.outcome, state.evaluator) for state in states
+        ]
+        knn_evaluations = sum(state.evaluator.evaluations for state in states)
+        shared_hits = sum(state.evaluator.shared_hits for state in states)
+        return results, knn_evaluations, shared_hits
+
+    # ------------------------------------------------------------------
+    def _run_multiprocess(
+        self, queries: np.ndarray, excludes: "list[int | None]"
+    ) -> tuple[list[OutlyingSubspaceResult], int, int]:
+        m = queries.shape[0]
+        n_workers = min(self.workers, m)
+        chunks = np.array_split(np.arange(m), n_workers)
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(self.miner,),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_worker_chunk,
+                    queries[chunk],
+                    [excludes[i] for i in chunk],
+                )
+                for chunk in chunks
+            ]
+            parts = [future.result() for future in futures]
+        results: list[OutlyingSubspaceResult] = []
+        knn_evaluations = 0
+        shared_hits = 0
+        for part_results, part_knn, part_hits in parts:
+            results.extend(part_results)
+            knn_evaluations += part_knn
+            shared_hits += part_hits
+        return results, knn_evaluations, shared_hits
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aggregate_stats(results: Sequence[OutlyingSubspaceResult]) -> SearchStats:
+        """Sum the numeric cost fields over all per-point searches."""
+        total = SearchStats()
+        for result in results:
+            total.od_evaluations += result.stats.od_evaluations
+            total.upward_pruned += result.stats.upward_pruned
+            total.downward_pruned += result.stats.downward_pruned
+            for level, count in result.stats.evaluations_by_level.items():
+                total.evaluations_by_level[level] = (
+                    total.evaluations_by_level.get(level, 0) + count
+                )
+        return total

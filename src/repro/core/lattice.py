@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.core.exceptions import DimensionalityError
 from repro.core.subspace import (
-    full_mask,
     iter_proper_submasks,
     iter_proper_supermasks,
     masks_at_level,
@@ -59,6 +58,48 @@ class SubspaceState(IntEnum):
 
 
 _OUTLYING_STATES = (SubspaceState.EVALUATED_OUTLYING, SubspaceState.PRUNED_OUTLYING)
+
+# Hoisted enum values: the pruning inner loops and per-evaluation state
+# checks compare / assign raw int8 entries, and attribute access on an
+# IntEnum class costs a dict lookup plus descriptor call per use —
+# measurable at 2**d scale and in the per-mask hot path.
+_UNKNOWN = int(SubspaceState.UNKNOWN)
+_EVALUATED_OUTLYING = int(SubspaceState.EVALUATED_OUTLYING)
+_EVALUATED_NON_OUTLYING = int(SubspaceState.EVALUATED_NON_OUTLYING)
+_PRUNED_OUTLYING = int(SubspaceState.PRUNED_OUTLYING)
+_PRUNED_NON_OUTLYING = int(SubspaceState.PRUNED_NON_OUTLYING)
+
+#: Per-d cached index/popcount arrays shared by every lattice instance.
+_MASKS_CACHE: dict[int, np.ndarray] = {}
+_LEVELS_CACHE: dict[int, np.ndarray] = {}
+
+
+def _masks_array(d: int) -> np.ndarray:
+    """``np.arange(2**d)`` as uint32, cached per dimensionality."""
+    arr = _MASKS_CACHE.get(d)
+    if arr is None:
+        arr = np.arange(1 << d, dtype=np.uint32)
+        _MASKS_CACHE[d] = arr
+    return arr
+
+
+def _levels_array(d: int) -> np.ndarray:
+    """Popcount of every mask in ``range(2**d)`` (SWAR, vectorised)."""
+    arr = _LEVELS_CACHE.get(d)
+    if arr is None:
+        v = _masks_array(d).copy()
+        v = v - ((v >> 1) & 0x55555555)
+        v = (v & 0x33333333) + ((v >> 2) & 0x33333333)
+        v = (v + (v >> 4)) & 0x0F0F0F0F
+        arr = ((v * 0x01010101) >> 24).astype(np.uint8)
+        _LEVELS_CACHE[d] = arr
+    return arr
+
+
+#: Below this candidate count the python bit-trick enumeration beats a
+#: full 2**d vectorised scan (the scan touches every mask regardless of
+#: how few are candidates).
+_ENUMERATION_CUTOFF_FRACTION = 64
 
 
 class SubspaceLattice:
@@ -90,6 +131,7 @@ class SubspaceLattice:
             )
         self.d = d
         self._state = np.zeros(1 << d, dtype=np.int8)
+        self._full_mask = (1 << d) - 1
         from math import comb
 
         self._level_sizes = [comb(d, m) for m in range(d + 1)]
@@ -105,14 +147,11 @@ class SubspaceLattice:
         return SubspaceState(int(self._state[mask]))
 
     def is_unknown(self, mask: int) -> bool:
-        return self._state[mask] == SubspaceState.UNKNOWN
+        return self._state[mask] == _UNKNOWN
 
     def is_outlying(self, mask: int) -> bool:
         """Whether the subspace is known outlying (evaluated or inferred)."""
-        return int(self._state[mask]) in (
-            SubspaceState.EVALUATED_OUTLYING,
-            SubspaceState.PRUNED_OUTLYING,
-        )
+        return int(self._state[mask]) in (_EVALUATED_OUTLYING, _PRUNED_OUTLYING)
 
     def has_unknown(self) -> bool:
         """Whether any subspace still awaits a decision."""
@@ -155,7 +194,8 @@ class SubspaceLattice:
         A fresh list is returned because callers mutate the lattice while
         iterating (evaluations at the same level prune siblings).
         """
-        return [mask for mask in self._masks_at_level(m) if self.is_unknown(mask)]
+        state = self._state
+        return [mask for mask in self._masks_at_level(m) if state[mask] == _UNKNOWN]
 
     def first_unknown_at_level(self, m: int, cursor: int = 0) -> tuple[int, int]:
         """First UNKNOWN mask at level ``m`` at or after position *cursor*.
@@ -169,7 +209,7 @@ class SubspaceLattice:
         masks = self._masks_at_level(m)
         position = cursor
         while position < len(masks):
-            if self._state[masks[position]] == SubspaceState.UNKNOWN:
+            if self._state[masks[position]] == _UNKNOWN:
                 return masks[position], position
             position += 1
         return -1, position
@@ -178,16 +218,11 @@ class SubspaceLattice:
     def mark_evaluated(self, mask: int, outlying: bool) -> None:
         """Record the result of an actual OD computation."""
         self._check_mask(mask)
-        if not self.is_unknown(mask):
+        if self._state[mask] != _UNKNOWN:
             raise DimensionalityError(
                 f"subspace {mask:#x} was already decided ({self.state(mask).name})"
             )
-        new_state = (
-            SubspaceState.EVALUATED_OUTLYING
-            if outlying
-            else SubspaceState.EVALUATED_NON_OUTLYING
-        )
-        self._state[mask] = new_state
+        self._state[mask] = _EVALUATED_OUTLYING if outlying else _EVALUATED_NON_OUTLYING
         level = popcount(mask)
         self._remaining_count[level] -= 1
         if outlying:
@@ -204,15 +239,36 @@ class SubspaceLattice:
         # (up to 2**(d-m)) supermask walk cannot find anything to prune.
         if all(self._remaining_count[i] == 0 for i in range(level + 1, self.d + 1)):
             return 0
-        pruned = 0
-        for sup in iter_proper_supermasks(mask, self.d):
-            if self._state[sup] == SubspaceState.UNKNOWN:
-                self._state[sup] = SubspaceState.PRUNED_OUTLYING
-                sup_level = popcount(sup)
-                self._remaining_count[sup_level] -= 1
-                self._outlying_decided[sup_level] += 1
-                pruned += 1
-        return pruned
+        # Hybrid strategy: enumerating the 2**(d-m) supersets in python
+        # wins when they are a sliver of the lattice; otherwise one
+        # vectorised scan of the whole state array wins. Both mark the
+        # identical set of subspaces — only the walk order differs, and
+        # pruning is order-insensitive.
+        if (1 << (self.d - level)) * _ENUMERATION_CUTOFF_FRACTION < (1 << self.d):
+            state = self._state
+            pruned = 0
+            for sup in iter_proper_supermasks(mask, self.d):
+                if state[sup] == _UNKNOWN:
+                    state[sup] = _PRUNED_OUTLYING
+                    sup_level = popcount(sup)
+                    self._remaining_count[sup_level] -= 1
+                    self._outlying_decided[sup_level] += 1
+                    pruned += 1
+            return pruned
+        masks = _masks_array(self.d)
+        selected = ((masks & mask) == mask) & (self._state == _UNKNOWN)
+        # Proper supersets only: the mask itself matches its own test.
+        selected[mask] = False
+        indices = np.flatnonzero(selected)
+        if indices.size == 0:
+            return 0
+        self._state[indices] = _PRUNED_OUTLYING
+        per_level = np.bincount(_levels_array(self.d)[indices], minlength=self.d + 1)
+        for pruned_level in np.flatnonzero(per_level):
+            count = int(per_level[pruned_level])
+            self._remaining_count[pruned_level] -= count
+            self._outlying_decided[pruned_level] += count
+        return int(indices.size)
 
     def prune_subsets(self, mask: int) -> int:
         """Downward pruning: mark every UNKNOWN proper subset non-outlying.
@@ -224,13 +280,30 @@ class SubspaceLattice:
         # Mirror guard of prune_supersets for the submask walk.
         if all(self._remaining_count[i] == 0 for i in range(1, level)):
             return 0
-        pruned = 0
-        for sub in iter_proper_submasks(mask):
-            if self._state[sub] == SubspaceState.UNKNOWN:
-                self._state[sub] = SubspaceState.PRUNED_NON_OUTLYING
-                self._remaining_count[popcount(sub)] -= 1
-                pruned += 1
-        return pruned
+        if (1 << level) * _ENUMERATION_CUTOFF_FRACTION < (1 << self.d):
+            state = self._state
+            pruned = 0
+            for sub in iter_proper_submasks(mask):
+                if state[sub] == _UNKNOWN:
+                    state[sub] = _PRUNED_NON_OUTLYING
+                    self._remaining_count[popcount(sub)] -= 1
+                    pruned += 1
+            return pruned
+        masks = _masks_array(self.d)
+        inverse = self._full_mask ^ mask
+        selected = ((masks & inverse) == 0) & (self._state == _UNKNOWN)
+        # Proper subsets only: exclude the mask itself and the empty
+        # subspace (index 0 stays UNKNOWN forever by convention).
+        selected[0] = False
+        selected[mask] = False
+        indices = np.flatnonzero(selected)
+        if indices.size == 0:
+            return 0
+        self._state[indices] = _PRUNED_NON_OUTLYING
+        per_level = np.bincount(_levels_array(self.d)[indices], minlength=self.d + 1)
+        for pruned_level in np.flatnonzero(per_level):
+            self._remaining_count[pruned_level] -= int(per_level[pruned_level])
+        return int(indices.size)
 
     # -- results -----------------------------------------------------------
     def outlying_masks(self) -> list[int]:
@@ -273,7 +346,7 @@ class SubspaceLattice:
         return self._level_masks_cache[m]
 
     def _check_mask(self, mask: int) -> None:
-        if not 1 <= mask <= full_mask(self.d):
+        if not 1 <= mask <= self._full_mask:
             raise DimensionalityError(
                 f"mask {mask:#x} is not a non-empty subspace of a d={self.d} space"
             )

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
-from repro.core.od import ODEvaluator
+from repro.core.od import ODEvaluator, SharedODCache
 from repro.core.priors import PruningPriors
 from repro.core.search import DynamicSubspaceSearch, SearchStats
 from repro.index.base import KnnBackend
@@ -69,6 +69,7 @@ def learn_priors(
     seed: int | None = 0,
     reselect: str = "level",
     adaptive: bool = False,
+    shared_cache: SharedODCache | None = None,
 ) -> LearningReport:
     """Run the sample-based learning process and average the priors.
 
@@ -90,6 +91,12 @@ def learn_priors(
         Forwarded to :class:`~repro.core.search.DynamicSubspaceSearch`.
         Neither changes the learned fractions (search is lossless);
         ``adaptive`` merely cheapens the sample searches.
+    shared_cache:
+        Optional per-fit :class:`~repro.core.od.SharedODCache`; the
+        sample searches then publish (and reuse) their OD values, so a
+        later batched query of a sample row replays the learning pass's
+        work for free. Cached values are exact, so the learned priors
+        are unaffected.
     """
     if sample_size < 0:
         raise ConfigurationError(f"sample_size must be >= 0, got {sample_size}")
@@ -117,7 +124,7 @@ def learn_priors(
     p_up_sum = np.zeros(d + 1)
     report = LearningReport(priors=uniform, sample_rows=sample_rows)
     for row in sample_rows:
-        evaluator = ODEvaluator(backend, X[row], k, exclude=row)
+        evaluator = ODEvaluator(backend, X[row], k, exclude=row, shared_cache=shared_cache)
         outcome = DynamicSubspaceSearch(
             evaluator, threshold, uniform, reselect, adaptive=adaptive
         ).run()

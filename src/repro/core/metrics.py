@@ -16,6 +16,28 @@ distance:
     pruning bound used by the tree-based kNN search (the classic MINDIST
     of Roussopoulos et al., projected onto a subspace).
 
+Built-in metrics additionally implement two optional batched views:
+
+``pairwise_many(X, Q, dims)``
+    Distances from every row of ``Q`` to every row of ``X`` in one
+    broadcasted pass, shape ``(m, n)`` — the cross-query axis of the
+    batched engine.
+``pairwise_components(X, q)`` / ``reduce_components(gathered)``
+    The cross-subspace axis: ``pairwise_components`` precomputes the
+    per-dimension distance contribution of every ``(row, dim)`` pair
+    for one query (shape ``(n, d)``); ``reduce_components`` reduces a
+    gathered ``(..., t)`` block of those contributions over its last
+    axis into distances. An
+    L_p distance over a subspace is a reduction of fixed per-dimension
+    terms, so one component matrix serves *every* subspace evaluation
+    of that query.
+
+Vectorised callers probe for these with ``getattr`` and fall back to
+per-query/per-subspace ``pairwise`` calls, so custom metrics keep
+working without them. The batched arithmetic performs the same
+elementwise operations and reduction order as the single-query path, so
+all views produce bit-identical distances.
+
 Monotonicity
 ------------
 HOS-Miner's pruning rules require ``Dist_s1(a, b) >= Dist_s2(a, b)``
@@ -95,6 +117,20 @@ class EuclideanMetric:
         diff = X[:, dims] - q[dims]
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
+    def pairwise_many(self, X: np.ndarray, Q: np.ndarray, dims) -> np.ndarray:
+        dims = _as_index(dims)
+        diff = Q[:, None, dims] - X[None, :, dims]
+        return np.sqrt(np.einsum("mnj,mnj->mn", diff, diff))
+
+    def pairwise_components(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        diff = X - q
+        return diff * diff
+
+    def reduce_components(self, gathered: np.ndarray) -> np.ndarray:
+        # Sequential einsum reduction — the same accumulation order as
+        # pairwise's "ij,ij->i", so distances match bit-for-bit.
+        return np.sqrt(np.einsum("...t->...", gathered))
+
     def point(self, a: np.ndarray, b: np.ndarray, dims) -> float:
         dims = _as_index(dims)
         diff = a[dims] - b[dims]
@@ -114,6 +150,17 @@ class ManhattanMetric:
         dims = _as_index(dims)
         return np.abs(X[:, dims] - q[dims]).sum(axis=1)
 
+    def pairwise_many(self, X: np.ndarray, Q: np.ndarray, dims) -> np.ndarray:
+        dims = _as_index(dims)
+        return np.abs(X[None, :, dims] - Q[:, None, dims]).sum(axis=2)
+
+    def pairwise_components(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        return np.abs(X - q)
+
+    def reduce_components(self, gathered: np.ndarray) -> np.ndarray:
+        # Same contiguous last-axis np.sum as pairwise's sum(axis=1).
+        return gathered.sum(axis=-1)
+
     def point(self, a, b, dims) -> float:
         dims = _as_index(dims)
         return float(np.abs(a[dims] - b[dims]).sum())
@@ -130,6 +177,16 @@ class ChebyshevMetric:
     def pairwise(self, X: np.ndarray, q: np.ndarray, dims) -> np.ndarray:
         dims = _as_index(dims)
         return np.abs(X[:, dims] - q[dims]).max(axis=1)
+
+    def pairwise_many(self, X: np.ndarray, Q: np.ndarray, dims) -> np.ndarray:
+        dims = _as_index(dims)
+        return np.abs(X[None, :, dims] - Q[:, None, dims]).max(axis=2)
+
+    def pairwise_components(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        return np.abs(X - q)
+
+    def reduce_components(self, gathered: np.ndarray) -> np.ndarray:
+        return gathered.max(axis=-1)
 
     def point(self, a, b, dims) -> float:
         dims = _as_index(dims)
@@ -158,6 +215,17 @@ class MinkowskiMetric:
         dims = _as_index(dims)
         diff = np.abs(X[:, dims] - q[dims])
         return np.power(np.power(diff, self.p).sum(axis=1), 1.0 / self.p)
+
+    def pairwise_many(self, X: np.ndarray, Q: np.ndarray, dims) -> np.ndarray:
+        dims = _as_index(dims)
+        diff = np.abs(X[None, :, dims] - Q[:, None, dims])
+        return np.power(np.power(diff, self.p).sum(axis=2), 1.0 / self.p)
+
+    def pairwise_components(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        return np.power(np.abs(X - q), self.p)
+
+    def reduce_components(self, gathered: np.ndarray) -> np.ndarray:
+        return np.power(gathered.sum(axis=-1), 1.0 / self.p)
 
     def point(self, a, b, dims) -> float:
         dims = _as_index(dims)

@@ -18,9 +18,11 @@ Typical use::
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.batch import BatchQueryEngine
 from repro.core.config import HOSMinerConfig
 from repro.core.exceptions import (
     ConfigurationError,
@@ -29,11 +31,11 @@ from repro.core.exceptions import (
 )
 from repro.core.filtering import minimal_masks
 from repro.core.learning import LearningReport, learn_priors
-from repro.core.od import ODEvaluator, outlying_degree
+from repro.core.od import ODEvaluator, SharedODCache, outlying_degree
 from repro.core.priors import PruningPriors
-from repro.core.result import OutlyingSubspaceResult
+from repro.core.result import BatchResult, OutlyingSubspaceResult
 from repro.core.search import DynamicSubspaceSearch, SearchOutcome
-from repro.core.subspace import Subspace
+from repro.core.subspace import Subspace, full_mask
 from repro.index import make_backend
 from repro.index.base import KnnBackend
 
@@ -47,6 +49,7 @@ def calibrate_threshold(
     quantile: float = 0.995,
     sample: int = 256,
     seed: int | None = 0,
+    shared_cache: SharedODCache | None = None,
 ) -> float:
     """Pick ``T`` as a quantile of *full-space* ODs over sampled rows.
 
@@ -56,6 +59,10 @@ def calibrate_threshold(
     full-space quantile therefore flags roughly the top 0.5% of points
     as outliers-somewhere — a practical way to anchor the paper's
     otherwise user-supplied threshold.
+
+    When *shared_cache* is given, every computed full-space OD is
+    published under its ``(row, full mask)`` key, so later batched
+    queries of the same rows replay the value instead of redoing kNN.
     """
     if not 0.0 < quantile < 1.0:
         raise ConfigurationError(f"quantile must be in (0, 1), got {quantile}")
@@ -67,9 +74,15 @@ def calibrate_threshold(
         else np.sort(rng.choice(n, size=sample, replace=False))
     )
     dims = tuple(range(backend.d))
-    full_space_ods = [
-        outlying_degree(backend, X[row], k, dims, exclude=int(row)) for row in rows
-    ]
+    mask = full_mask(backend.d)
+    full_space_ods = []
+    for row in rows:
+        value = outlying_degree(backend, X[row], k, dims, exclude=int(row))
+        if shared_cache is not None:
+            shared_cache.put(
+                SharedODCache.point_key(X[row], int(row)), mask, value
+            )
+        full_space_ods.append(value)
     return float(np.quantile(full_space_ods, quantile))
 
 
@@ -93,6 +106,7 @@ class HOSMiner:
         self._priors: PruningPriors | None = None
         self._learning_report: LearningReport | None = None
         self._feature_names: list[str] | None = None
+        self._od_cache: SharedODCache | None = None
         self.fit_time_s: float = 0.0
 
     # ------------------------------------------------------------------
@@ -121,6 +135,10 @@ class HOSMiner:
         self._backend = make_backend(
             self.config.index, X, metric=self.config.metric, **self.config.index_options
         )
+        # Per-fit shared OD cache: calibration and learning publish every
+        # OD they compute, so batched queries of already-touched rows
+        # replay fit-time work instead of redoing it.
+        self._od_cache = SharedODCache()
 
         if self.config.threshold is not None:
             self._threshold = float(self.config.threshold)
@@ -132,6 +150,7 @@ class HOSMiner:
                 quantile=self.config.threshold_quantile,
                 sample=self.config.threshold_sample,
                 seed=self.config.seed,
+                shared_cache=self._od_cache,
             )
 
         self._learning_report = learn_priors(
@@ -143,6 +162,7 @@ class HOSMiner:
             seed=self.config.seed,
             reselect=self.config.reselect,
             adaptive=self.config.adaptive,
+            shared_cache=self._od_cache,
         )
         self._priors = self._learning_report.priors
         self._fitted = True
@@ -173,6 +193,13 @@ class HOSMiner:
     def backend_(self) -> KnnBackend:
         self._require_fitted()
         return self._backend  # type: ignore[return-value]
+
+    @property
+    def od_cache_(self) -> SharedODCache:
+        """The per-fit shared OD cache (populated by calibration, the
+        learning pass and batched queries; invalidated on refit/extend)."""
+        self._require_fitted()
+        return self._od_cache  # type: ignore[return-value]
 
     @property
     def d_(self) -> int:
@@ -208,6 +235,9 @@ class HOSMiner:
         for row in rows:
             self._backend.insert(row)  # type: ignore[union-attr]
         self._X = np.asarray(self._backend.data)  # type: ignore[union-attr]
+        # New rows can change any point's neighbour set in any subspace,
+        # so every cached OD value is stale from here on.
+        self._od_cache.invalidate()  # type: ignore[union-attr]
 
         if refresh in ("threshold", "full") and self.config.threshold is None:
             self._threshold = calibrate_threshold(
@@ -217,6 +247,7 @@ class HOSMiner:
                 quantile=self.config.threshold_quantile,
                 sample=self.config.threshold_sample,
                 seed=self.config.seed,
+                shared_cache=self._od_cache,
             )
         if refresh == "full":
             self._learning_report = learn_priors(
@@ -228,6 +259,7 @@ class HOSMiner:
                 seed=self.config.seed,
                 reselect=self.config.reselect,
                 adaptive=self.config.adaptive,
+                shared_cache=self._od_cache,
             )
             self._priors = self._learning_report.priors
         return self
@@ -259,8 +291,28 @@ class HOSMiner:
     def query_many(
         self, targets: "list[int | np.ndarray]"
     ) -> list[OutlyingSubspaceResult]:
-        """Query a batch of rows and/or points."""
+        """Query a batch of rows and/or points, one sequential search at
+        a time. Prefer :meth:`query_batch` for anything but a handful of
+        targets — it produces identical answers faster."""
         return [self.query(target) for target in targets]
+
+    def query_batch(
+        self, targets: "np.ndarray | Sequence[int | np.ndarray]", workers: int = 1
+    ) -> BatchResult:
+        """Answer many queries at once through the batched engine.
+
+        Accepts a ``(m, d)`` matrix of external points, a sequence of
+        dataset row ids, a single vector, or a mixed sequence of rows
+        and vectors. Per-point answers are element-wise identical to
+        sequential :meth:`query_row`/:meth:`query_point` calls; the
+        engine only restructures the work — vectorised multi-query kNN
+        across concurrent searches, OD reuse through the per-fit shared
+        cache (see :attr:`od_cache_`), and optionally ``workers``
+        processes over slices of the batch. Returns a
+        :class:`~repro.core.result.BatchResult`.
+        """
+        self._require_fitted()
+        return BatchQueryEngine(self, workers=workers).run(targets)
 
     def detect_outliers(
         self, max_results: int | None = None
@@ -303,33 +355,34 @@ class HOSMiner:
         else:
             query, exclude = np.asarray(target, dtype=np.float64), None
         evaluator = ODEvaluator(self._backend, query, self.config.k, exclude=exclude)
-        search = DynamicSubspaceSearch(
-            evaluator,
-            self._threshold,
-            self._priors,
-            self.config.reselect,
-            adaptive=self.config.adaptive,
-        )
-        return search.run(), evaluator
+        return self._make_search(evaluator).run(), evaluator
 
     # ------------------------------------------------------------------
-    def _run_query(self, query: np.ndarray, exclude: int | None) -> OutlyingSubspaceResult:
-        evaluator = ODEvaluator(self._backend, query, self.config.k, exclude=exclude)
-        search = DynamicSubspaceSearch(
+    def _make_search(self, evaluator: ODEvaluator) -> DynamicSubspaceSearch:
+        """A search over *evaluator* with this miner's fitted parameters.
+
+        Single factory for the sequential and batched paths, so both run
+        the exact same decision process.
+        """
+        return DynamicSubspaceSearch(
             evaluator,
             self._threshold,
             self._priors,
             self.config.reselect,
             adaptive=self.config.adaptive,
         )
-        outcome = search.run()
+
+    def _build_result(
+        self, outcome: SearchOutcome, evaluator: ODEvaluator
+    ) -> OutlyingSubspaceResult:
+        """Filter a finished search into the user-facing result."""
         minimal = [Subspace(mask, outcome.d) for mask in minimal_masks(outcome.outlying_masks)]
         # Minimal subspaces are always concretely evaluated (an inferred-
         # outlying subspace has an outlying subset, so it cannot be
         # minimal) — their ODs are cache hits, never new kNN work.
         od_values = {subspace: evaluator.od(subspace.mask) for subspace in minimal}
         return OutlyingSubspaceResult(
-            query=query,
+            query=evaluator.query,
             d=outcome.d,
             k=self.config.k,
             threshold=outcome.threshold,
@@ -339,6 +392,11 @@ class HOSMiner:
             stats=outcome.stats,
             feature_names=self._feature_names,
         )
+
+    def _run_query(self, query: np.ndarray, exclude: int | None) -> OutlyingSubspaceResult:
+        evaluator = ODEvaluator(self._backend, query, self.config.k, exclude=exclude)
+        outcome = self._make_search(evaluator).run()
+        return self._build_result(outcome, evaluator)
 
     def _require_fitted(self) -> None:
         if not self._fitted:

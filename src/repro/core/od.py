@@ -20,6 +20,14 @@ cache, because the dynamic search and the learning pass revisit
 subspaces for the same point (e.g. when ablation baselines replay a
 search) and because evaluation counting must distinguish cached hits
 from real work.
+
+:class:`SharedODCache` extends that idea across queries: one per-fit
+cache keyed by ``(point key, subspace mask)`` that every evaluator of
+the same fitted miner can consult, so overlapping searches — the
+fit-time learning pass, repeated queries of the same row, duplicate
+points inside one batch — reuse OD values instead of redoing kNN work.
+A cached OD is the exact value the backend would return (not an
+approximation), so sharing never changes answers, only cost.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from repro.core.exceptions import ConfigurationError, DataShapeError
 from repro.core.subspace import Subspace, dims_of_mask
 from repro.index.base import KnnBackend
 
-__all__ = ["ODEvaluator", "outlying_degree"]
+__all__ = ["ODEvaluator", "SharedODCache", "outlying_degree"]
 
 
 def outlying_degree(
@@ -45,6 +53,59 @@ def outlying_degree(
     """One-shot OD computation against a backend (no caching)."""
     _, distances = backend.knn(query, k, dims, exclude=exclude)
     return float(distances.sum())
+
+
+class SharedODCache:
+    """Per-fit OD cache shared by every evaluator of one fitted miner.
+
+    Keys are ``(point key, mask)`` pairs where the point key identifies
+    a query point *together with its exclusion semantics*: dataset
+    members queried with self-exclusion key by row id, external points
+    by their coordinate bytes. Two queries with the same key are
+    guaranteed to produce the same OD in every subspace of the current
+    fit, so a stored value can be replayed verbatim.
+
+    The cache is owned by the miner and must be :meth:`invalidate`\\ d
+    whenever the indexed dataset changes (``extend``/refit): inserting
+    rows can change any point's neighbour set in any subspace.
+    """
+
+    __slots__ = ("_values", "hits", "stores")
+
+    def __init__(self) -> None:
+        self._values: dict[tuple[object, int], float] = {}
+        #: Number of lookups served from the cache.
+        self.hits = 0
+        #: Number of values recorded.
+        self.stores = 0
+
+    @staticmethod
+    def point_key(query: np.ndarray, exclude: int | None) -> tuple[str, object]:
+        """Canonical key of one ``(query, exclude)`` pair."""
+        if exclude is not None:
+            return ("row", exclude)
+        return ("ext", query.tobytes())
+
+    def get(self, point_key: tuple[str, object], mask: int) -> float | None:
+        value = self._values.get((point_key, mask))
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def put(self, point_key: tuple[str, object], mask: int, value: float) -> None:
+        if (point_key, mask) not in self._values:
+            self.stores += 1
+        self._values[(point_key, mask)] = value
+
+    def invalidate(self) -> None:
+        """Drop every cached value (dataset changed)."""
+        self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"SharedODCache(entries={len(self)}, hits={self.hits})"
 
 
 class ODEvaluator:
@@ -62,12 +123,17 @@ class ODEvaluator:
         Row index of ``query`` inside the backend's dataset, or ``None``
         when the query is external. Self-matches are excluded by row
         identity so duplicate points stay legal neighbours.
+    shared_cache:
+        Optional per-fit :class:`SharedODCache`; when given, OD values
+        are looked up there after the local cache misses and every
+        computed value is published for other evaluators to reuse.
 
     Notes
     -----
     ``evaluations`` counts *real* kNN searches; ``cache_hits`` counts
-    repeats served from memory. The search-cost tables of experiments
-    E1–E5 and E10 report ``evaluations``.
+    repeats served from the evaluator's own memory and ``shared_hits``
+    those served from the shared per-fit cache. The search-cost tables
+    of experiments E1–E5 and E10 report ``evaluations``.
     """
 
     def __init__(
@@ -76,12 +142,9 @@ class ODEvaluator:
         query: np.ndarray,
         k: int,
         exclude: int | None = None,
+        shared_cache: SharedODCache | None = None,
     ) -> None:
-        query = np.asarray(query, dtype=np.float64)
-        if query.ndim != 1 or query.shape[0] != backend.d:
-            raise DataShapeError(
-                f"query must be a length-{backend.d} vector, got shape {query.shape}"
-            )
+        query = self._validate_query(query, backend.d)
         available = backend.size - (1 if exclude is not None else 0)
         if k < 1 or k > available:
             raise ConfigurationError(
@@ -93,21 +156,75 @@ class ODEvaluator:
         self.exclude = exclude
         self.evaluations = 0
         self.cache_hits = 0
+        self.shared_hits = 0
         self._cache: dict[int, float] = {}
+        self._shared = shared_cache
+        self._point_key = (
+            SharedODCache.point_key(query, exclude) if shared_cache is not None else None
+        )
+
+    @staticmethod
+    def _validate_query(query: np.ndarray, d: int) -> np.ndarray:
+        """Coerce and shape-check the query vector once, up front.
+
+        Every later ``od`` call trusts the stored vector, so a malformed
+        query fails here with the expected/actual shapes spelled out
+        instead of surfacing as an opaque error deep inside a backend.
+        """
+        try:
+            query = np.ascontiguousarray(query, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise DataShapeError(
+                f"query could not be converted to a float vector: {exc}"
+            ) from exc
+        if query.ndim != 1 or query.shape[0] != d:
+            raise DataShapeError(
+                f"expected a query of shape ({d},), got shape {query.shape}"
+            )
+        return query
 
     def od(self, mask: int) -> float:
         """OD of the query point in the subspace encoded by *mask*."""
-        cached = self._cache.get(mask)
+        cached = self.cached_od(mask)
         if cached is not None:
-            self.cache_hits += 1
             return cached
         dims = dims_of_mask(mask)
         value = outlying_degree(
             self.backend, self.query, self.k, dims, exclude=self.exclude
         )
-        self._cache[mask] = value
+        self._store(mask, value)
         self.evaluations += 1
         return value
+
+    def cached_od(self, mask: int) -> float | None:
+        """Cached OD for *mask* (local, then shared), or ``None``.
+
+        Counts the hit on the matching counter; performs no kNN work.
+        The batched engine uses this to split a search's requested masks
+        into cache replays and genuinely new evaluations.
+        """
+        cached = self._cache.get(mask)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        if self._shared is not None:
+            shared = self._shared.get(self._point_key, mask)
+            if shared is not None:
+                self.shared_hits += 1
+                self._cache[mask] = shared
+                return shared
+        return None
+
+    def prime(self, mask: int, value: float) -> None:
+        """Record an OD value computed externally on this point's behalf
+        (the batched kNN path); counts as one real evaluation."""
+        self._store(mask, value)
+        self.evaluations += 1
+
+    def _store(self, mask: int, value: float) -> None:
+        self._cache[mask] = value
+        if self._shared is not None:
+            self._shared.put(self._point_key, mask, value)
 
     def od_subspace(self, subspace: Subspace) -> float:
         """OD in a :class:`~repro.core.subspace.Subspace` (wrapper API)."""
@@ -127,3 +244,4 @@ class ODEvaluator:
         """Zero the evaluation counters (the cache is kept)."""
         self.evaluations = 0
         self.cache_hits = 0
+        self.shared_hits = 0

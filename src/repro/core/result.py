@@ -1,13 +1,18 @@
-"""User-facing result of one HOS-Miner query.
+"""User-facing results of HOS-Miner queries.
 
-Bundles what the demo UI of the paper would show: the minimal outlying
-subspaces (post-filter), the full answer-set size, the OD value behind
-every returned subspace, and the machine-independent search costs.
+:class:`OutlyingSubspaceResult` bundles what the demo UI of the paper
+would show for one query point: the minimal outlying subspaces
+(post-filter), the full answer-set size, the OD value behind every
+returned subspace, and the machine-independent search costs.
+:class:`BatchResult` wraps one such result per point of a
+:meth:`~repro.core.miner.HOSMiner.query_batch` call plus the aggregate
+cost profile of the whole batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -15,7 +20,7 @@ from repro.core.filtering import expand_upward
 from repro.core.search import SearchStats
 from repro.core.subspace import Subspace, is_subset
 
-__all__ = ["OutlyingSubspaceResult"]
+__all__ = ["BatchResult", "OutlyingSubspaceResult"]
 
 
 @dataclass(slots=True)
@@ -112,4 +117,83 @@ class OutlyingSubspaceResult:
         return (
             f"OutlyingSubspaceResult(minimal={[s.notation() for s in self.minimal]}, "
             f"total={self.total_outlying}, k={self.k}, T={self.threshold:.4g})"
+        )
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Answers and aggregate costs of one batched multi-query call.
+
+    ``results[i]`` is exactly the :class:`OutlyingSubspaceResult` a
+    sequential ``query_point``/``query_row`` call would have produced
+    for target ``i`` — the batch engine only changes how the work is
+    scheduled, never the answers.
+
+    Attributes
+    ----------
+    results:
+        Per-target results, in input order.
+    stats:
+        Aggregate :class:`~repro.core.search.SearchStats` (numeric
+        fields summed over all searches; the per-search level schedules
+        are not concatenated because their interleaving is a scheduling
+        artefact).
+    knn_evaluations:
+        Real kNN computations the batch performed (cache hits excluded).
+    shared_cache_hits:
+        OD values replayed from the per-fit shared cache instead of
+        being recomputed.
+    wall_time_s:
+        End-to-end batch wall time, including result assembly.
+    workers:
+        Number of worker processes used (1 = in-process).
+    """
+
+    results: list[OutlyingSubspaceResult]
+    stats: SearchStats = field(default_factory=SearchStats)
+    knn_evaluations: int = 0
+    shared_cache_hits: int = 0
+    wall_time_s: float = 0.0
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[OutlyingSubspaceResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> OutlyingSubspaceResult:
+        return self.results[index]
+
+    @property
+    def n_outliers(self) -> int:
+        """How many targets are outliers in at least one subspace."""
+        return sum(1 for result in self.results if result.is_outlier)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Throughput of the batch (0 when the batch was instantaneous)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return len(self.results) / self.wall_time_s
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account of the batch."""
+        lines = [
+            f"{len(self.results)} queries in {self.wall_time_s:.3f}s "
+            f"({self.queries_per_second:.1f} q/s, workers={self.workers}): "
+            f"{self.n_outliers} outlier(s)",
+            f"  kNN evaluations: {self.knn_evaluations}, "
+            f"shared-cache hits: {self.shared_cache_hits}, "
+            f"OD values consumed: {self.stats.od_evaluations}",
+            f"  pruning: {self.stats.upward_pruned} upward, "
+            f"{self.stats.downward_pruned} downward",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult(n={len(self.results)}, outliers={self.n_outliers}, "
+            f"knn_evaluations={self.knn_evaluations}, "
+            f"shared_cache_hits={self.shared_cache_hits})"
         )

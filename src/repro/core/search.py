@@ -42,9 +42,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Generator
 
 from repro.core.exceptions import ConfigurationError, SearchBudgetExceeded
-from repro.core.lattice import SubspaceLattice, SubspaceState
+from repro.core.lattice import SubspaceLattice
 from repro.core.od import ODEvaluator
 from repro.core.priors import PruningPriors
 from repro.core.savings import TSFInputs, total_saving_factor
@@ -179,37 +180,81 @@ class DynamicSubspaceSearch:
     def run(self) -> SearchOutcome:
         """Execute the search to completion and return the outcome."""
         start = time.perf_counter()
-        d = self.evaluator.backend.d
-        lattice = SubspaceLattice(d)
+        lattice = SubspaceLattice(self.evaluator.backend.d)
         stats = SearchStats()
 
         cursors: dict[int, int] = {}
         while lattice.has_unknown():
-            level = self._select_level(lattice)
-            stats.level_schedule.append(level)
-            if self.reselect == "level":
-                for mask in lattice.unknown_masks_at_level(level):
-                    # Same-level subspaces cannot prune one another, but the
-                    # guard keeps the loop robust if that ever changes.
-                    if lattice.is_unknown(mask):
-                        self._evaluate(mask, level, lattice, stats)
-            else:
-                mask, position = lattice.first_unknown_at_level(
-                    level, cursors.get(level, 0)
-                )
-                cursors[level] = position
-                self._evaluate(mask, level, lattice, stats)
+            level, masks = self._next_step(lattice, stats, cursors)
+            for mask in masks:
+                # Same-level subspaces cannot prune one another, but the
+                # guard keeps the loop robust if that ever changes.
+                if lattice.is_unknown(mask):
+                    self._evaluate(mask, level, lattice, stats)
+        return self._finish(lattice, stats, start)
 
+    def run_stepped(
+        self,
+    ) -> Generator[list[int], "dict[int, float]", SearchOutcome]:
+        """Coroutine form of :meth:`run` for drivers that supply OD values.
+
+        Yields the masks whose OD the search needs next and expects a
+        ``{mask: od}`` dict in return via ``send``; the generator's
+        return value is the same :class:`SearchOutcome` :meth:`run`
+        produces. In ``"level"`` mode one whole level is requested per
+        step — same-level subspaces cannot prune one another, so
+        deciding them from a pre-fetched batch replays the sequential
+        decisions exactly; ``"evaluation"`` mode requests a single mask
+        at a time. Level selection, pruning and statistics are shared
+        with :meth:`run`, so the answer set, the level schedule and the
+        logical cost counters are identical — only *who* computes the OD
+        values changes, which is what lets a batch driver group requests
+        across many concurrent searches into vectorised multi-query kNN
+        calls.
+        """
+        start = time.perf_counter()
+        lattice = SubspaceLattice(self.evaluator.backend.d)
+        stats = SearchStats()
+
+        cursors: dict[int, int] = {}
+        while lattice.has_unknown():
+            level, masks = self._next_step(lattice, stats, cursors)
+            values = yield masks
+            for mask in masks:
+                if lattice.is_unknown(mask):
+                    self._check_budget(lattice, stats)
+                    self._record(mask, values[mask], level, lattice, stats)
+        return self._finish(lattice, stats, start)
+
+    # ------------------------------------------------------------------
+    def _next_step(
+        self, lattice: SubspaceLattice, stats: SearchStats, cursors: dict[int, int]
+    ) -> tuple[int, list[int]]:
+        """Select the next level and the masks this step will decide.
+
+        One implementation serves :meth:`run` and :meth:`run_stepped`,
+        which keeps the two entry points in lock-step by construction —
+        the batched path's answers-identical guarantee depends on it.
+        """
+        level = self._select_level(lattice)
+        stats.level_schedule.append(level)
+        if self.reselect == "level":
+            return level, lattice.unknown_masks_at_level(level)
+        mask, position = lattice.first_unknown_at_level(level, cursors.get(level, 0))
+        cursors[level] = position
+        return level, [mask]
+
+    def _finish(
+        self, lattice: SubspaceLattice, stats: SearchStats, start: float
+    ) -> SearchOutcome:
         stats.wall_time_s = time.perf_counter() - start
         return SearchOutcome(
-            d=d,
+            d=lattice.d,
             threshold=self.threshold,
             outlying_masks=lattice.outlying_masks(),
             stats=stats,
             lattice=lattice,
         )
-
-    # ------------------------------------------------------------------
     def _select_level(self, lattice: SubspaceLattice) -> int:
         """Level with the highest TSF; ties favour the lower level, which
         keeps the schedule deterministic and biases toward the small
@@ -267,6 +312,11 @@ class DynamicSubspaceSearch:
     def _evaluate(
         self, mask: int, level: int, lattice: SubspaceLattice, stats: SearchStats
     ) -> None:
+        self._check_budget(lattice, stats)
+        od_value = self.evaluator.od(mask)
+        self._record(mask, od_value, level, lattice, stats)
+
+    def _check_budget(self, lattice: SubspaceLattice, stats: SearchStats) -> None:
         if (
             self.max_evaluations is not None
             and stats.od_evaluations >= self.max_evaluations
@@ -276,7 +326,16 @@ class DynamicSubspaceSearch:
                 f"evaluations with {sum(lattice.remaining_count(m) for m in lattice.levels_with_unknown())} "
                 "subspaces still undecided"
             )
-        od_value = self.evaluator.od(mask)
+
+    def _record(
+        self,
+        mask: int,
+        od_value: float,
+        level: int,
+        lattice: SubspaceLattice,
+        stats: SearchStats,
+    ) -> None:
+        """Apply one OD observation: mark the subspace and prune."""
         stats.od_evaluations += 1
         stats.evaluations_by_level[level] = stats.evaluations_by_level.get(level, 0) + 1
         if od_value >= self.threshold:

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.index.stats import IndexStats
 
-__all__ = ["KnnBackend"]
+__all__ = ["KnnBackend", "knn_batch_fallback", "normalize_excludes", "validate_query_matrix"]
 
 
 @runtime_checkable
@@ -72,3 +72,95 @@ class KnnBackend(Protocol):
         exclude: int | None = None,
     ) -> np.ndarray:
         """Row indices within *radius* of *query* in subspace *dims*."""
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        dims: Sequence[int],
+        excludes: "Sequence[int | None] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """kNN of every row of *queries* within subspace *dims*.
+
+        The multi-query entry point of the batched engine. Each element
+        of the returned list is exactly what :meth:`knn` returns for the
+        corresponding query row (same values, same deterministic tie
+        order), so the two paths are interchangeable.
+
+        Parameters
+        ----------
+        queries:
+            Query matrix, shape ``(m, d)``; ``m = 0`` is legal.
+        k:
+            Number of neighbours per query.
+        dims:
+            Sorted 0-based dimension indices of the shared subspace.
+        excludes:
+            Per-query row exclusions (``None`` entries for external
+            points), or ``None`` for no exclusions anywhere.
+
+        Backends without a vectorised multi-query path may implement
+        this as :func:`knn_batch_fallback`, which loops over :meth:`knn`.
+        """
+
+
+def normalize_excludes(
+    excludes: "Sequence[int | None] | None", m: int, size: int
+) -> "list[int | None]":
+    """Validate a per-query exclusion list against batch size and n."""
+    from repro.core.exceptions import ConfigurationError
+
+    if excludes is None:
+        return [None] * m
+    excludes = list(excludes)
+    if len(excludes) != m:
+        raise ConfigurationError(
+            f"{len(excludes)} exclusions supplied for {m} queries"
+        )
+    for exclude in excludes:
+        if exclude is not None and not 0 <= exclude < size:
+            raise ConfigurationError(
+                f"exclude row {exclude} out of range for n={size}"
+            )
+    return excludes
+
+
+def validate_query_matrix(queries: np.ndarray, d: int) -> np.ndarray:
+    """Coerce *queries* to a float64 ``(m, d)`` matrix or raise
+    :class:`~repro.core.exceptions.DataShapeError` naming both shapes."""
+    from repro.core.exceptions import DataShapeError
+
+    try:
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise DataShapeError(
+            f"query matrix could not be converted to float64: {exc}"
+        ) from exc
+    if queries.ndim != 2 or queries.shape[1] != d:
+        raise DataShapeError(
+            f"expected a query matrix of shape (m, {d}), got {queries.shape}"
+        )
+    return queries
+
+
+def knn_batch_fallback(
+    backend: KnnBackend,
+    queries: np.ndarray,
+    k: int,
+    dims: Sequence[int],
+    excludes: "Sequence[int | None] | None" = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Reference :meth:`KnnBackend.knn_batch` implementation: one
+    :meth:`~KnnBackend.knn` call per query row.
+
+    Tree backends use this directly — their branch-and-bound descent is
+    inherently per-query — which keeps ``knn_batch`` universally
+    available while the scan-shaped backends provide truly vectorised
+    overrides.
+    """
+    queries = validate_query_matrix(queries, backend.d)
+    excludes = normalize_excludes(excludes, queries.shape[0], backend.size)
+    return [
+        backend.knn(query, k, dims, exclude=exclude)
+        for query, exclude in zip(queries, excludes)
+    ]

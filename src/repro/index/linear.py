@@ -20,12 +20,20 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError, DataShapeError
 from repro.core.metrics import Metric, get_metric
+from repro.index.base import normalize_excludes, validate_query_matrix
 from repro.index.stats import IndexStats
 
 __all__ = ["LinearScanIndex", "BLOCK_ROWS"]
 
 #: Rows per simulated disk block for node-access accounting.
 BLOCK_ROWS = 64
+
+#: Memory ceiling for one batched distance intermediate; the multi-query
+#: kernels chunk their query axis so the (m_chunk, n, |dims|) temporary
+#: stays under this, keeping huge batches from materialising O(m * n)
+#: float64 blocks at once. Chunking never changes results — each query's
+#: arithmetic is independent.
+BATCH_CHUNK_BYTES = 64 * 2**20
 
 
 class LinearScanIndex:
@@ -94,6 +102,149 @@ class LinearScanIndex:
         self.stats.knn_queries += 1
         return indices, distances[indices]
 
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        dims: Sequence[int],
+        excludes: "Sequence[int | None] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Vectorised multi-query kNN: one broadcasted distance pass.
+
+        The whole ``(m, n)`` distance matrix is computed in a single
+        numpy kernel (via the metric's ``pairwise_many`` when available),
+        then each row is reduced with the same argpartition + stable
+        lexsort as :meth:`knn`, so results — including tie order — are
+        identical to ``m`` sequential calls while the dominant distance
+        work runs ``m``-wide.
+        """
+        queries = validate_query_matrix(queries, self.d)
+        m = queries.shape[0]
+        excludes = normalize_excludes(excludes, m, self.size)
+        dims = self._validate_dims(dims)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        for exclude in excludes:
+            available = self.size - (1 if exclude is not None else 0)
+            if k > available:
+                raise ConfigurationError(
+                    f"k={k} neighbours requested but only {available} candidate rows exist"
+                )
+        if m == 0:
+            return []
+
+        pairwise_many = getattr(self.metric, "pairwise_many", None)
+        chunk = max(1, BATCH_CHUNK_BYTES // (self.size * max(1, dims.size) * 8))
+        results = []
+        for start in range(0, m, chunk):
+            stop = min(start + chunk, m)
+            if pairwise_many is not None:
+                distances = pairwise_many(self._X, queries[start:stop], dims)
+            else:
+                distances = np.stack(
+                    [
+                        self.metric.pairwise(self._X, query, dims)
+                        for query in queries[start:stop]
+                    ]
+                )
+            for i in range(start, stop):
+                row = distances[i - start]
+                exclude = excludes[i]
+                if exclude is not None:
+                    row[exclude] = np.inf
+                candidate = np.argpartition(row, k - 1)[:k]
+                order = np.lexsort((candidate, row[candidate]))
+                indices = candidate[order]
+                results.append((indices, row[indices]))
+                self._account_scan()
+        self.stats.knn_queries += m
+        return results
+
+    def distance_components(self, query: np.ndarray) -> "np.ndarray | None":
+        """Per-dimension distance contribution matrix for *query*.
+
+        Shape ``(n, d)``; feed slices of it to :meth:`knn_masks` to
+        answer many subspace queries for the same point without
+        recomputing any per-dimension term. Returns ``None`` when the
+        metric does not expose a component decomposition (custom
+        metrics) — callers then fall back to plain :meth:`knn`.
+        """
+        components_fn = getattr(self.metric, "pairwise_components", None)
+        if components_fn is None or not hasattr(self.metric, "reduce_components"):
+            # Both halves of the optional pair are needed: a component
+            # matrix is useless without the matching reduction.
+            return None
+        query, _ = self._validate(query, range(self.d))
+        return components_fn(self._X, query)
+
+    def knn_distance_sums(
+        self,
+        query: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        exclude: int | None = None,
+        components: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Sum of the ``k`` smallest distances in many subspaces at once.
+
+        The OD kernel of the batched engine — the dual of
+        :meth:`knn_batch`: there the query axis is vectorised for one
+        subspace, here one query is evaluated in ``K`` subspaces. With a
+        precomputed *components* matrix (see
+        :meth:`distance_components`) each subspace's distances come from
+        a gather-and-reduce over cached per-dimension terms instead of a
+        fresh projection pass; without one, each subspace falls back to
+        the metric's ``pairwise``.
+
+        Every returned value is bit-identical to
+        ``float(knn(query, k, dims, exclude)[1].sum())``: the gathered
+        reduction replays ``pairwise``'s arithmetic exactly, and the
+        ``k`` smallest distances are summed in ascending order — the
+        same value sequence the sorted kNN result produces (ties are
+        equal values, so neighbour identity cannot change the sum).
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.d,):
+            raise DataShapeError(
+                f"query must be a length-{self.d} vector, got shape {query.shape}"
+            )
+        # Ready-made intp arrays are trusted (the batch engine validates
+        # and caches them once per mask); anything else is checked here.
+        dims_arrays = [
+            dims
+            if isinstance(dims, np.ndarray) and dims.dtype == np.intp
+            else self._validate_dims(dims)
+            for dims in dims_list
+        ]
+        available = self.size - (1 if exclude is not None else 0)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if k > available:
+            raise ConfigurationError(
+                f"k={k} neighbours requested but only {available} candidate rows exist"
+            )
+
+        sums = np.empty(len(dims_arrays))
+        for j, dims in enumerate(dims_arrays):
+            if components is not None:
+                distances = self.metric.reduce_components(components[:, dims])
+            else:
+                distances = self.metric.pairwise(self._X, query, dims)
+            if exclude is not None:
+                distances[exclude] = np.inf
+            # In-place partition + sort of the k-prefix: `distances` is a
+            # fresh array, and summing the k smallest ascending matches
+            # the sorted kNN result's accumulation exactly.
+            distances.partition(k - 1)
+            smallest = distances[:k]
+            smallest.sort()
+            sums[j] = smallest.sum()
+        count = len(dims_arrays)
+        self.stats.distance_computations += count * self.size
+        self.stats.node_accesses += count * (-(-self.size // BLOCK_ROWS))
+        self.stats.knn_queries += count
+        return sums
+
     def range_query(
         self,
         query: np.ndarray,
@@ -129,12 +280,15 @@ class LinearScanIndex:
             raise DataShapeError(
                 f"query must be a length-{self.d} vector, got shape {query.shape}"
             )
+        return query, self._validate_dims(dims)
+
+    def _validate_dims(self, dims: Sequence[int]) -> np.ndarray:
         dims = np.asarray(dims, dtype=np.intp)
         if dims.size == 0:
             raise ConfigurationError("a query subspace needs at least one dimension")
         if dims.min() < 0 or dims.max() >= self.d:
             raise ConfigurationError(f"dims {dims.tolist()} out of range for d={self.d}")
-        return query, dims
+        return dims
 
     def _account_scan(self) -> None:
         self.stats.distance_computations += self.size

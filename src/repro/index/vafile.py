@@ -47,6 +47,7 @@ from repro.core.metrics import (
     MinkowskiMetric,
     get_metric,
 )
+from repro.index.base import normalize_excludes, validate_query_matrix
 from repro.index.stats import IndexStats
 
 __all__ = ["VAFile", "APPROX_BLOCK_ROWS"]
@@ -55,6 +56,11 @@ __all__ = ["VAFile", "APPROX_BLOCK_ROWS"]
 #: accounting. Approximation entries are `bits`-per-dimension instead of
 #: 64, so a block holds proportionally more of them than raw vectors.
 APPROX_BLOCK_ROWS = 512
+
+#: Memory ceiling for one batched bound intermediate (see
+#: :data:`repro.index.linear.BATCH_CHUNK_BYTES`); divided by 16 rather
+#: than 8 because the bound pass holds a lower and an upper gap array.
+_BATCH_CHUNK_BYTES = 64 * 2**20
 
 
 def _metric_order(metric: Metric) -> float:
@@ -196,6 +202,62 @@ class VAFile:
         self.stats.knn_queries += 1
         return candidates[order], distances[order]
 
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        dims: Sequence[int],
+        excludes: "Sequence[int | None] | None" = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Vectorised multi-query kNN: one approximation-file scan for
+        the whole batch.
+
+        Phase 1 (the bulk of VA-file work — scanning the approximation
+        file for lower/upper bounds) is computed for all ``m`` queries in
+        one broadcasted pass per dimension. Phase 2 (per-query candidate
+        refinement) is inherently query-local and stays a loop, exactly
+        mirroring :meth:`knn` so answers and tie order are identical.
+        """
+        queries = validate_query_matrix(queries, self.d)
+        m = queries.shape[0]
+        excludes = normalize_excludes(excludes, m, self.size)
+        dims = self._validate_dims(dims)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        for exclude in excludes:
+            available = self.size - (1 if exclude is not None else 0)
+            if k > available:
+                raise ConfigurationError(
+                    f"k={k} neighbours requested but only {available} candidate rows exist"
+                )
+        if m == 0:
+            return []
+
+        # Chunk the query axis so the (m_chunk, n, |dims|) bound
+        # intermediates stay bounded for huge batches; per-query results
+        # are unaffected by the chunking.
+        chunk = max(1, _BATCH_CHUNK_BYTES // (self.size * dims.size * 16))
+        results = []
+        for start in range(0, m, chunk):
+            stop = min(start + chunk, m)
+            lower, upper = self._bounds_many(queries[start:stop], dims)
+            for i in range(start, stop):
+                row_lower, row_upper = lower[i - start], upper[i - start]
+                exclude = excludes[i]
+                if exclude is not None:
+                    row_lower[exclude] = np.inf
+                    row_upper[exclude] = np.inf
+                tau = np.partition(row_upper, k - 1)[k - 1]
+                candidates = np.flatnonzero(row_lower <= tau)
+                self.stats.bump("candidates_refined", int(candidates.size))
+                distances = self.metric.pairwise(self._X[candidates], queries[i], dims)
+                self.stats.distance_computations += int(candidates.size)
+                self.stats.node_accesses += int(candidates.size)
+                order = np.lexsort((candidates, distances))[:k]
+                results.append((candidates[order], distances[order]))
+        self.stats.knn_queries += m
+        return results
+
     def range_query(
         self,
         query: np.ndarray,
@@ -269,18 +331,49 @@ class VAFile:
         self.stats.mindist_computations += n
         return _combine(gaps_lower, self._order), _combine(gaps_upper, self._order)
 
+    def _bounds_many(
+        self, queries: np.ndarray, dims: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper distance bounds for a whole query batch, ``(m, n)``.
+
+        Same per-cell gap tables as :meth:`_bounds`, but built for all
+        queries at once: each dimension produces an ``(m, cells)`` table
+        that is gathered through the shared approximation column.
+        """
+        m, n = queries.shape[0], self.size
+        gaps_lower = np.empty((m, n, dims.size))
+        gaps_upper = np.empty((m, n, dims.size))
+        for j, dim in enumerate(dims):
+            edges = self.boundaries[dim]
+            q = queries[:, dim][:, None]
+            cell_lower = edges[:-1][None, :]
+            cell_upper = edges[1:][None, :]
+            low_gap = np.maximum(0.0, np.maximum(cell_lower - q, q - cell_upper))
+            up_gap = np.maximum(np.abs(q - cell_lower), np.abs(q - cell_upper))
+            codes = self._approx[:, dim]
+            gaps_lower[:, :, j] = low_gap[:, codes]
+            gaps_upper[:, :, j] = up_gap[:, codes]
+        self.stats.node_accesses += m * -(-n // APPROX_BLOCK_ROWS)
+        self.stats.mindist_computations += m * n
+        lower = _combine(gaps_lower.reshape(m * n, dims.size), self._order)
+        upper = _combine(gaps_upper.reshape(m * n, dims.size), self._order)
+        return lower.reshape(m, n), upper.reshape(m, n)
+
     def _validate(self, query: np.ndarray, dims: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
         query = np.asarray(query, dtype=np.float64)
         if query.shape != (self.d,):
             raise DataShapeError(
                 f"query must be a length-{self.d} vector, got shape {query.shape}"
             )
+        return query, self._validate_dims(dims)
+
+    def _validate_dims(self, dims: Sequence[int]) -> np.ndarray:
         dims = np.asarray(dims, dtype=np.intp)
         if dims.size == 0:
             raise ConfigurationError("a query subspace needs at least one dimension")
         if dims.min() < 0 or dims.max() >= self.d:
             raise ConfigurationError(f"dims {dims.tolist()} out of range for d={self.d}")
-        return query, dims
+        return dims
 
     def candidate_fraction(self) -> float:
         """Average fraction of points refined exactly per query so far —

@@ -1,0 +1,347 @@
+"""Batched multi-query engine: losslessness, sharing, and plumbing.
+
+The batched path must be *indistinguishable* from the sequential one in
+its answers — element-wise identical results, including exact OD values
+and tie order — while provably doing less work (shared-cache replays,
+duplicate coalescing). These tests pin both halves of that contract,
+plus the index-layer batch kernels and the up-front validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataShapeError
+from repro.core.miner import HOSMiner
+from repro.core.od import ODEvaluator, SharedODCache
+from repro.core.result import BatchResult
+from repro.data.synthetic import make_planted_outliers
+from repro.index import LinearScanIndex, RStarTree, VAFile, XTree
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_planted_outliers(
+        n=300, d=6, n_outliers=3, subspace_dims=2, displacement=9.0, seed=23
+    )
+
+
+@pytest.fixture(scope="module")
+def miner(dataset) -> HOSMiner:
+    return HOSMiner(k=4, sample_size=6, threshold_quantile=0.95).fit(dataset.X)
+
+
+def assert_results_identical(sequential, batched):
+    """Element-wise identity, down to exact OD floats."""
+    assert len(sequential) == len(batched)
+    for a, b in zip(sequential, batched):
+        assert a.minimal == b.minimal
+        assert a.total_outlying == b.total_outlying
+        assert a.threshold == b.threshold
+        assert a.od_values == b.od_values  # exact float equality
+        assert a.stats.od_evaluations == b.stats.od_evaluations
+        assert a.stats.level_schedule == b.stats.level_schedule
+
+
+# ----------------------------------------------------------------------
+# Index layer: knn_batch
+# ----------------------------------------------------------------------
+class TestKnnBatch:
+    @pytest.mark.parametrize("backend_cls", [LinearScanIndex, VAFile, RStarTree, XTree])
+    def test_matches_sequential_knn(self, backend_cls, rng):
+        X = rng.normal(size=(120, 5))
+        backend = backend_cls(X)
+        queries = rng.normal(size=(9, 5))
+        excludes = [None, 3, None, 7, None, 0, None, None, 119]
+        for dims in [(0,), (1, 3), (0, 2, 4), (0, 1, 2, 3, 4)]:
+            batched = backend.knn_batch(queries, 4, dims, excludes=excludes)
+            for query, exclude, (indices, distances) in zip(queries, excludes, batched):
+                seq_indices, seq_distances = backend.knn(query, 4, dims, exclude=exclude)
+                np.testing.assert_array_equal(indices, seq_indices)
+                np.testing.assert_array_equal(distances, seq_distances)
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev", "minkowski:3"])
+    def test_linear_metrics_bit_identical(self, metric, rng):
+        X = rng.normal(size=(80, 4))
+        backend = LinearScanIndex(X, metric=metric)
+        queries = rng.normal(size=(6, 4))
+        batched = backend.knn_batch(queries, 3, (0, 2, 3))
+        for query, (indices, distances) in zip(queries, batched):
+            seq_indices, seq_distances = backend.knn(query, 3, (0, 2, 3))
+            np.testing.assert_array_equal(indices, seq_indices)
+            np.testing.assert_array_equal(distances, seq_distances)
+
+    def test_empty_batch(self, rng):
+        backend = LinearScanIndex(rng.normal(size=(30, 3)))
+        assert backend.knn_batch(np.empty((0, 3)), 2, (0, 1)) == []
+
+    def test_validates_shapes_and_excludes(self, rng):
+        backend = LinearScanIndex(rng.normal(size=(30, 3)))
+        with pytest.raises(DataShapeError, match=r"\(m, 3\)"):
+            backend.knn_batch(rng.normal(size=(4, 2)), 2, (0, 1))
+        with pytest.raises(ConfigurationError, match="exclusions"):
+            backend.knn_batch(rng.normal(size=(4, 3)), 2, (0, 1), excludes=[None])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            backend.knn_batch(rng.normal(size=(1, 3)), 2, (0, 1), excludes=[99])
+
+
+class TestKnnDistanceSums:
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev", "minkowski:3"])
+    @pytest.mark.parametrize("use_components", [False, True])
+    def test_matches_knn_sum(self, metric, use_components, rng):
+        X = rng.normal(size=(100, 5))
+        backend = LinearScanIndex(X, metric=metric)
+        query = rng.normal(size=5)
+        components = backend.distance_components(query) if use_components else None
+        dims_list = [(0, 1), (1, 4), (2, 3)]
+        sums = backend.knn_distance_sums(
+            query, 4, dims_list, exclude=17, components=components
+        )
+        for dims, value in zip(dims_list, sums):
+            _, distances = backend.knn(query, 4, dims, exclude=17)
+            assert value == float(distances.sum())  # bit-identical
+
+    def test_distance_components_none_for_custom_metric(self, rng):
+        class WeirdMetric:
+            name = "weird"
+
+            def pairwise(self, X, q, dims):
+                dims = np.asarray(dims, dtype=np.intp)
+                return np.abs(X[:, dims] - q[dims]).sum(axis=1) * 2.0
+
+            def point(self, a, b, dims):
+                dims = np.asarray(dims, dtype=np.intp)
+                return float(np.abs(a[dims] - b[dims]).sum() * 2.0)
+
+            def mindist(self, q, lower, upper, dims):
+                return 0.0
+
+        backend = LinearScanIndex(rng.normal(size=(30, 3)), metric=WeirdMetric())
+        assert backend.distance_components(np.zeros(3)) is None
+        # The sums kernel still answers correctly via pairwise fallback.
+        sums = backend.knn_distance_sums(np.zeros(3), 2, [(0, 1)])
+        _, distances = backend.knn(np.zeros(3), 2, (0, 1))
+        assert sums[0] == float(distances.sum())
+
+
+# ----------------------------------------------------------------------
+# Search layer: the stepped coroutine replays run() exactly
+# ----------------------------------------------------------------------
+class TestRunStepped:
+    @pytest.mark.parametrize("reselect", ["level", "evaluation"])
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_equivalent_to_run(self, miner, dataset, reselect, adaptive):
+        from repro.core.search import DynamicSubspaceSearch
+
+        for row in [0, 1, 50]:
+            reference = DynamicSubspaceSearch(
+                ODEvaluator(miner.backend_, dataset.X[row], 4, exclude=row),
+                miner.threshold_,
+                miner.priors_,
+                reselect,
+                adaptive=adaptive,
+            ).run()
+
+            evaluator = ODEvaluator(miner.backend_, dataset.X[row], 4, exclude=row)
+            search = DynamicSubspaceSearch(
+                evaluator, miner.threshold_, miner.priors_, reselect, adaptive=adaptive
+            )
+            generator = search.run_stepped()
+            pending = next(generator)
+            while True:
+                values = {mask: evaluator.od(mask) for mask in pending}
+                try:
+                    pending = generator.send(values)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+
+            assert sorted(outcome.outlying_masks) == sorted(reference.outlying_masks)
+            assert outcome.stats.od_evaluations == reference.stats.od_evaluations
+            assert outcome.stats.level_schedule == reference.stats.level_schedule
+            assert outcome.stats.upward_pruned == reference.stats.upward_pruned
+            assert outcome.stats.downward_pruned == reference.stats.downward_pruned
+
+
+# ----------------------------------------------------------------------
+# Miner layer: query_batch losslessness (the headline contract)
+# ----------------------------------------------------------------------
+class TestQueryBatch:
+    def test_rows_identical_to_sequential(self, miner):
+        rows = list(range(64))
+        sequential = [miner.query_row(row) for row in rows]
+        batched = miner.query_batch(rows)
+        assert_results_identical(sequential, batched.results)
+
+    def test_external_points_identical_to_sequential(self, miner, dataset, rng):
+        points = dataset.X[rng.choice(dataset.X.shape[0], size=20)] + rng.normal(
+            scale=0.1, size=(20, dataset.X.shape[1])
+        )
+        sequential = [miner.query_point(point) for point in points]
+        batched = miner.query_batch(points)
+        assert_results_identical(sequential, batched.results)
+
+    def test_mixed_targets_with_duplicates(self, miner, dataset):
+        external = dataset.X[5] + 0.25
+        targets = [0, 1, external, 0, external, 2, 1]
+        sequential = [miner.query(t) for t in targets]
+        batched = miner.query_batch(targets)
+        assert_results_identical(sequential, batched.results)
+
+    def test_strictly_fewer_knn_evaluations(self, dataset):
+        """Acceptance: ≥64 targets, identical answers, strictly fewer
+        real kNN evaluations than the sequential loop, cache hits > 0."""
+        fresh = HOSMiner(k=4, sample_size=6, threshold_quantile=0.95).fit(dataset.X)
+        # Traffic with repetition: every row once, the first eight twice.
+        targets = list(range(56)) + list(range(8)) * 2
+        assert len(targets) >= 64
+
+        before = fresh.backend_.stats.knn_queries
+        sequential = [fresh.query_row(row) for row in targets]
+        sequential_knn = fresh.backend_.stats.knn_queries - before
+
+        before = fresh.backend_.stats.knn_queries
+        batched = fresh.query_batch(targets)
+        batched_knn = fresh.backend_.stats.knn_queries - before
+
+        assert_results_identical(sequential, batched.results)
+        assert batched.shared_cache_hits > 0
+        assert batched_knn < sequential_knn
+        assert batched.knn_evaluations == batched_knn
+
+    def test_second_batch_rides_the_cache(self, dataset):
+        fresh = HOSMiner(k=4, sample_size=6, threshold_quantile=0.95).fit(dataset.X)
+        targets = list(range(16))
+        first = fresh.query_batch(targets)
+        before = fresh.backend_.stats.knn_queries
+        second = fresh.query_batch(targets)
+        assert fresh.backend_.stats.knn_queries == before  # pure replay
+        assert_results_identical(first.results, second.results)
+
+    def test_workers_mode_identical(self, miner, dataset, rng):
+        points = dataset.X[rng.choice(dataset.X.shape[0], size=12)] + rng.normal(
+            scale=0.1, size=(12, dataset.X.shape[1])
+        )
+        sequential = [miner.query_point(point) for point in points]
+        batched = miner.query_batch(points, workers=2)
+        assert batched.workers == 2
+        assert_results_identical(sequential, batched.results)
+
+    def test_empty_and_single_batches(self, miner, dataset):
+        empty = miner.query_batch([])
+        assert len(empty) == 0 and empty.results == []
+        assert empty.n_outliers == 0
+        single = miner.query_batch([3])
+        assert_results_identical([miner.query_row(3)], single.results)
+        vector = miner.query_batch(np.asarray(dataset.X[3]))
+        assert len(vector) == 1
+
+    def test_row_array_targets(self, miner):
+        batched = miner.query_batch(np.array([0, 4, 9]))
+        sequential = [miner.query_row(row) for row in (0, 4, 9)]
+        assert_results_identical(sequential, batched.results)
+
+    @pytest.mark.parametrize("index", ["vafile", "rstar"])
+    def test_other_backends(self, dataset, index):
+        fresh = HOSMiner(
+            k=4, sample_size=4, threshold_quantile=0.95, index=index
+        ).fit(dataset.X)
+        rows = list(range(10))
+        sequential = [fresh.query_row(row) for row in rows]
+        batched = fresh.query_batch(rows)
+        assert_results_identical(sequential, batched.results)
+
+    @pytest.mark.parametrize("reselect,adaptive", [("evaluation", False), ("level", True)])
+    def test_search_variants(self, dataset, reselect, adaptive):
+        fresh = HOSMiner(
+            k=4,
+            sample_size=4,
+            threshold_quantile=0.95,
+            reselect=reselect,
+            adaptive=adaptive,
+        ).fit(dataset.X)
+        rows = list(range(12))
+        sequential = [fresh.query_row(row) for row in rows]
+        batched = fresh.query_batch(rows)
+        assert_results_identical(sequential, batched.results)
+
+    def test_validation_up_front(self, miner):
+        with pytest.raises(DataShapeError, match=r"\(m, 6\)"):
+            miner.query_batch(np.zeros((3, 4)))
+        with pytest.raises(DataShapeError, match="shape"):
+            miner.query_batch([np.zeros(4)])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            miner.query_batch([10_000])
+        with pytest.raises(ConfigurationError, match="workers"):
+            miner.query_batch([0], workers=0)
+
+    def test_batch_result_reporting(self, miner):
+        batched = miner.query_batch(list(range(8)))
+        assert isinstance(batched, BatchResult)
+        assert len(list(batched)) == 8
+        assert batched[0].threshold == miner.threshold_
+        assert batched.wall_time_s > 0
+        assert batched.queries_per_second > 0
+        text = batched.summary()
+        assert "8 queries" in text and "shared-cache hits" in text
+        assert batched.stats.od_evaluations == sum(
+            result.stats.od_evaluations for result in batched.results
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared OD cache semantics
+# ----------------------------------------------------------------------
+class TestSharedODCache:
+    def test_fit_populates_cache(self, miner):
+        assert len(miner.od_cache_) > 0  # calibration + learning entries
+
+    def test_extend_invalidates(self, dataset):
+        fresh = HOSMiner(k=4, sample_size=4, threshold_quantile=0.95).fit(dataset.X)
+        fresh.query_batch(list(range(8)))
+        assert len(fresh.od_cache_) > 0
+        fresh.extend(dataset.X[:2] + 5.0)
+        assert len(fresh.od_cache_) == 0
+        # Post-extend batches are still identical to sequential.
+        sequential = [fresh.query_row(row) for row in range(6)]
+        batched = fresh.query_batch(list(range(6)))
+        assert_results_identical(sequential, batched.results)
+
+    def test_point_key_distinguishes_row_and_external(self):
+        query = np.array([1.0, 2.0])
+        assert SharedODCache.point_key(query, 3) == ("row", 3)
+        assert SharedODCache.point_key(query, None)[0] == "ext"
+        assert SharedODCache.point_key(query, None) == SharedODCache.point_key(
+            query.copy(), None
+        )
+
+    def test_evaluator_shared_hits(self, rng):
+        X = rng.normal(size=(50, 4))
+        backend = LinearScanIndex(X)
+        cache = SharedODCache()
+        first = ODEvaluator(backend, X[0], 3, exclude=0, shared_cache=cache)
+        value = first.od(0b0011)
+        second = ODEvaluator(backend, X[0], 3, exclude=0, shared_cache=cache)
+        assert second.od(0b0011) == value
+        assert second.shared_hits == 1 and second.evaluations == 0
+
+
+# ----------------------------------------------------------------------
+# ODEvaluator validation (satellite)
+# ----------------------------------------------------------------------
+class TestEvaluatorValidation:
+    def test_wrong_length_names_both_shapes(self, rng):
+        backend = LinearScanIndex(rng.normal(size=(30, 5)))
+        with pytest.raises(DataShapeError, match=r"expected a query of shape \(5,\), got shape \(3,\)"):
+            ODEvaluator(backend, np.zeros(3), 2)
+
+    def test_matrix_query_rejected(self, rng):
+        backend = LinearScanIndex(rng.normal(size=(30, 5)))
+        with pytest.raises(DataShapeError, match=r"\(2, 5\)"):
+            ODEvaluator(backend, np.zeros((2, 5)), 2)
+
+    def test_unconvertible_query_rejected(self, rng):
+        backend = LinearScanIndex(rng.normal(size=(30, 2)))
+        with pytest.raises(DataShapeError, match="converted"):
+            ODEvaluator(backend, ["not", "numbers"], 2)

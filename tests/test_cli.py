@@ -97,6 +97,50 @@ class TestCommands:
         assert "outlier(s) among 80 rows" in out
         assert "row 0:" in out or "row 1:" in out or "row 2:" in out
 
+    def test_batch_rows_and_queries(self, tmp_path, capsys):
+        dataset = load_athletes(n=60)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        queries = tmp_path / "queries.csv"
+        queries.write_text(dataset_to_csv(dataset))
+        code = main(
+            ["batch", str(path), "--rows", "0,1,2", "--queries", str(queries),
+             "--k", "4", "--sample-size", "2", "--normalize",
+             "--quantile", "0.97", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "63 queries" in out
+        assert "shared-cache hits" in out
+
+    def test_batch_all_rows_with_workers(self, tmp_path, capsys):
+        dataset = load_athletes(n=40)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        code = main(
+            ["batch", str(path), "--all-rows", "--workers", "2",
+             "--k", "4", "--sample-size", "2", "--quantile", "0.97"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "40 queries" in out and "workers=2" in out
+
+    def test_batch_requires_targets(self, tmp_path, capsys):
+        dataset = load_athletes(n=30)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        assert main(["batch", str(path)]) == 2
+        assert "nothing to query" in capsys.readouterr().err
+
+    def test_batch_rejects_mismatched_query_csv(self, tmp_path, capsys):
+        dataset = load_athletes(n=30)
+        path = tmp_path / "athletes.csv"
+        path.write_text(dataset_to_csv(dataset))
+        queries = tmp_path / "queries.csv"
+        queries.write_text("a,b\n1.0,2.0\n")
+        assert main(["batch", str(path), "--queries", str(queries)]) == 2
+        assert "columns" in capsys.readouterr().err
+
 
 class TestSearchBudget:
     def test_budget_raises_loudly(self):
