@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="kNN backend (default linear)",
     )
     query.add_argument(
+        "--kernel", choices=["auto", "gemm", "exact"], default="auto",
+        help="OD kernel: auto (default) uses the level-wide GEMM kernel when "
+        "the metric supports it, gemm demands it (errors otherwise), exact "
+        "always runs the bit-exact per-mask kernel; answers are identical",
+    )
+    query.add_argument(
         "--sample-size", type=int, default=10, help="learning sample size S (default 10)"
     )
     query.add_argument(
@@ -135,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--index", choices=["linear", "rstar", "xtree", "vafile"], default="linear",
         help="kNN backend (default linear)",
+    )
+    batch.add_argument(
+        "--kernel", choices=["auto", "gemm", "exact"], default="auto",
+        help="OD kernel: auto (default) uses the level-wide GEMM kernel when "
+        "the metric supports it, gemm demands it (errors otherwise), exact "
+        "always runs the bit-exact per-mask kernel; answers are identical",
     )
     batch.add_argument(
         "--sample-size", type=int, default=10, help="learning sample size S (default 10)"
@@ -210,6 +222,7 @@ def _run_query(args: argparse.Namespace) -> int:
         threshold_quantile=args.quantile,
         index=args.index,
         sample_size=args.sample_size,
+        kernel=args.kernel,
     ).fit(X, feature_names=dataset.feature_names)
     print(f"fitted on {dataset.n} rows x {dataset.d} columns; T = {miner.threshold_:.4g}")
     for row in args.row:
@@ -257,8 +270,12 @@ def _run_batch(args: argparse.Namespace) -> int:
         threshold_quantile=args.quantile,
         index=args.index,
         sample_size=args.sample_size,
+        kernel=args.kernel,
     ).fit(X, feature_names=dataset.feature_names)
-    print(f"fitted on {dataset.n} rows x {dataset.d} columns; T = {miner.threshold_:.4g}")
+    print(
+        f"fitted on {dataset.n} rows x {dataset.d} columns; "
+        f"T = {miner.threshold_:.4g}; kernel = {miner.kernel_}"
+    )
 
     targets: list = []
     if args.all_rows:

@@ -13,9 +13,19 @@ lock-step rounds:
    :class:`~repro.core.od.SharedODCache` are replayed for free —
    fit-time calibration and learning populate that cache, so querying a
    row the learning pass already searched costs zero new kNN work;
-3. the remaining requests are grouped by mask, coalesced over identical
-   query points (duplicate points in a traffic batch pay once), and
-   served with one vectorised
+3. the remaining requests are scheduled **mask-major** when the fitted
+   miner resolved the GEMM kernel: searches that request the *same*
+   subspace list this round (the common case — concurrent searches
+   walk the lattice in lock-step and expand the same levels) are fused
+   into one stacked multi-query GEMM
+   (:meth:`~repro.index.linear.LinearScanIndex.knn_distance_sums_batch`
+   with ``C_batch`` component stacking), after coalescing identical
+   query points so duplicates pay once; near-threshold GEMM values are
+   re-verified with the exact kernel before any pruning decision is
+   made on them. Under the exact kernel (or a backend without the
+   level kernel) the engine falls back to the original scheduling:
+   per-query ``knn_distance_sums`` gathers when masks outnumber
+   distinct masks, else one vectorised
    :meth:`~repro.index.base.KnnBackend.knn_batch` call per mask.
 
 Because ``run_stepped`` replays exactly the sequential decision process
@@ -41,7 +51,7 @@ from typing import TYPE_CHECKING, Generator, Sequence
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
-from repro.core.od import ODEvaluator, SharedODCache
+from repro.core.od import ODEvaluator, SharedODCache, near_threshold
 from repro.core.result import BatchResult, OutlyingSubspaceResult
 from repro.core.search import SearchOutcome, SearchStats
 from repro.core.subspace import dims_of_mask
@@ -194,10 +204,13 @@ class BatchQueryEngine:
         cache = miner.od_cache_
         k = miner.config.k
 
+        kernel = miner.kernel_
+        threshold = miner.threshold_
+
         states: list[_SearchState] = []
         for query, exclude in zip(queries, excludes):
             evaluator = ODEvaluator(
-                backend, query, k, exclude=exclude, shared_cache=cache
+                backend, query, k, exclude=exclude, shared_cache=cache, kernel=kernel
             )
             states.append(
                 _SearchState(
@@ -214,6 +227,7 @@ class BatchQueryEngine:
 
         supports_sums = hasattr(backend, "knn_distance_sums")
         supports_components = hasattr(backend, "distance_components")
+        use_gemm = kernel == "gemm" and hasattr(backend, "knn_distance_sums_batch")
         component_bytes = 0
         dims_cache: dict[int, np.ndarray] = {}
 
@@ -223,6 +237,79 @@ class BatchQueryEngine:
                 dims = np.asarray(dims_of_mask(mask), dtype=np.intp)
                 dims_cache[mask] = dims
             return dims
+
+        def allocate_components(state: _SearchState) -> None:
+            """Budget-gated per-state component matrix allocation."""
+            nonlocal component_bytes
+            if not supports_components or state.components is not None:
+                return
+            needed = queries.shape[1] * backend.size * 8
+            if component_bytes + needed <= COMPONENT_BUDGET_BYTES:
+                state.components = backend.distance_components(
+                    state.evaluator.query
+                )
+                if state.components is not None:
+                    component_bytes += needed
+
+        def reverified(state: _SearchState, i: int, mask: int, value: float) -> float:
+            """Replace a near-threshold GEMM value with the exact one.
+
+            The single point where the engine enforces the kernel knob's
+            answers-identical contract — every GEMM-computed value flows
+            through here before a pruning decision can be made on it.
+            """
+            if kernel == "gemm" and near_threshold(value, threshold):
+                value = float(
+                    backend.knn_distance_sums(
+                        state.evaluator.query,
+                        k,
+                        [dims_for(mask)],
+                        exclude=excludes[i],
+                        components=state.components,
+                        kernel="exact",
+                    )[0]
+                )
+            return value
+
+        def serve_with_sums(state: _SearchState, i: int, masks: "list[int]") -> None:
+            """Answer one state's masks via its knn_distance_sums kernel
+            (GEMM when the miner resolved it), with exact re-verification
+            of near-threshold GEMM values."""
+            # Under the GEMM kernel the component matrix is consumed
+            # every round (even single-mask rounds), so allocate it
+            # regardless of the batch width.
+            if len(masks) > 1 or kernel == "gemm":
+                allocate_components(state)
+            values = backend.knn_distance_sums(
+                state.evaluator.query,
+                k,
+                [dims_for(mask) for mask in masks],
+                exclude=excludes[i],
+                components=state.components,
+                kernel=kernel,
+            )
+            for mask, value in zip(masks, values):
+                value = reverified(state, i, mask, float(value))
+                state.evaluator.prime(mask, value)
+                state.values[mask] = value
+
+        def replay_duplicates(
+            duplicates: "list[int]", needs_by_state: "dict[int, list[int]]"
+        ) -> None:
+            """Serve coalesced duplicate states from the shared cache."""
+            for i in duplicates:
+                state = states[i]
+                leftovers = []
+                for mask in needs_by_state[i]:
+                    value = state.evaluator.cached_od(mask)
+                    if value is None:
+                        leftovers.append(mask)
+                    else:
+                        state.values[mask] = value
+                if leftovers:
+                    # Defensive: a duplicate whose trajectory diverged
+                    # (should not happen) computes its own.
+                    serve_with_sums(state, i, leftovers)
 
         while active:
             # Split each search's requests into cache replays and misses.
@@ -241,20 +328,23 @@ class BatchQueryEngine:
                     else:
                         state.values[mask] = value
 
-            # Pick the vectorisation axis with fewer kernel launches.
-            # Early rounds are query-wide and mask-narrow (every search
-            # wants the same level) — group queries per mask. Late
-            # rounds are the opposite (few surviving searches, each
-            # expanding a whole level) — group masks per query, where
-            # the per-state component matrix also pays off.
+            # Pick the vectorisation axis. Under the GEMM kernel the
+            # scheduling is mask-major: searches requesting the same
+            # subspace list this round (concurrent searches walk the
+            # lattice in lock-step, so most rounds are one big group)
+            # fuse into a single stacked multi-query GEMM. Under the
+            # exact kernel, keep the original heuristic: group masks per
+            # query when masks outnumber distinct masks (late rounds),
+            # else one multi-query knn_batch per mask (early rounds).
             by_state = supports_sums and 0 < len(needs_by_state) < len(need_map)
 
-            if by_state:
-                # Identical query points run in lockstep, so coalesce
-                # them here too: the first state with a given point key
-                # computes, the rest replay through the shared cache.
+            if use_gemm and needs_by_state:
+                # Coalesce identical query points first: the first state
+                # with a given point key computes, the rest replay
+                # through the shared cache.
                 seen_round_keys: set[tuple[str, object]] = set()
                 duplicates: list[int] = []
+                groups: dict[tuple[int, ...], list[int]] = {}
                 for i, masks in needs_by_state.items():
                     state = states[i]
                     key = SharedODCache.point_key(state.evaluator.query, excludes[i])
@@ -262,52 +352,44 @@ class BatchQueryEngine:
                         duplicates.append(i)
                         continue
                     seen_round_keys.add(key)
-                    if (
-                        supports_components
-                        and state.components is None
-                        and len(masks) > 1
-                    ):
-                        needed = queries.shape[1] * backend.size * 8
-                        if component_bytes + needed <= COMPONENT_BUDGET_BYTES:
-                            state.components = backend.distance_components(
-                                state.evaluator.query
-                            )
-                            if state.components is not None:
-                                component_bytes += needed
-                    values = backend.knn_distance_sums(
-                        state.evaluator.query,
+                    groups.setdefault(tuple(masks), []).append(i)
+                for signature, members in groups.items():
+                    masks = list(signature)
+                    if len(members) == 1:
+                        serve_with_sums(states[members[0]], members[0], masks)
+                        continue
+                    for i in members:
+                        allocate_components(states[i])
+                    grid = backend.knn_distance_sums_batch(
+                        queries[members],
                         k,
                         [dims_for(mask) for mask in masks],
-                        exclude=excludes[i],
-                        components=state.components,
+                        excludes=[excludes[i] for i in members],
+                        components_list=[states[i].components for i in members],
+                        kernel="gemm",
                     )
-                    for mask, value in zip(masks, values):
-                        value = float(value)
-                        state.evaluator.prime(mask, value)
-                        state.values[mask] = value
-                for i in duplicates:
-                    state = states[i]
-                    leftovers = []
-                    for mask in needs_by_state[i]:
-                        value = state.evaluator.cached_od(mask)
-                        if value is None:
-                            leftovers.append(mask)
-                        else:
-                            state.values[mask] = value
-                    if leftovers:
-                        # Defensive: a duplicate whose trajectory
-                        # diverged (should not happen) computes its own.
-                        values = backend.knn_distance_sums(
-                            state.evaluator.query,
-                            k,
-                            [dims_for(mask) for mask in leftovers],
-                            exclude=excludes[i],
-                            components=state.components,
-                        )
-                        for mask, value in zip(leftovers, values):
-                            value = float(value)
+                    for row, i in enumerate(members):
+                        state = states[i]
+                        for col, mask in enumerate(masks):
+                            value = reverified(state, i, mask, float(grid[row, col]))
                             state.evaluator.prime(mask, value)
                             state.values[mask] = value
+                replay_duplicates(duplicates, needs_by_state)
+            elif by_state:
+                # Identical query points run in lockstep, so coalesce
+                # them here too: the first state with a given point key
+                # computes, the rest replay through the shared cache.
+                seen_round_keys = set()
+                duplicates = []
+                for i, masks in needs_by_state.items():
+                    state = states[i]
+                    key = SharedODCache.point_key(state.evaluator.query, excludes[i])
+                    if key in seen_round_keys:
+                        duplicates.append(i)
+                        continue
+                    seen_round_keys.add(key)
+                    serve_with_sums(state, i, masks)
+                replay_duplicates(duplicates, needs_by_state)
             else:
                 for mask, needers in need_map.items():
                     # Coalesce identical query points: one representative

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.exceptions import ConfigurationError
+from repro.core.metrics import KERNELS
 
 __all__ = ["HOSMinerConfig"]
 
@@ -53,6 +54,15 @@ class HOSMinerConfig:
         Enable the adaptive-prior extension of
         :class:`~repro.core.search.DynamicSubspaceSearch` (off by
         default for paper fidelity; never changes answers, only cost).
+    kernel:
+        OD-kernel selector: ``"auto"`` (default) runs the level-wide
+        GEMM kernel whenever the metric has a linear component
+        decomposition and falls back to the exact per-mask kernel
+        otherwise; ``"gemm"`` demands the GEMM kernel and fit fails
+        loudly if the metric cannot serve it; ``"exact"`` always runs
+        the bit-exact kernel. Answer sets are identical under every
+        setting — near-threshold GEMM values are re-verified exactly —
+        so the knob trades nothing but speed.
     """
 
     k: int = 5
@@ -66,6 +76,7 @@ class HOSMinerConfig:
     seed: int | None = 0
     reselect: str = "level"
     adaptive: bool = False
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -93,4 +104,8 @@ class HOSMinerConfig:
         if self.reselect not in _RESELECT_MODES:
             raise ConfigurationError(
                 f"reselect must be one of {_RESELECT_MODES}, got {self.reselect!r}"
+            )
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
             )

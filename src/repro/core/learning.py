@@ -70,6 +70,7 @@ def learn_priors(
     reselect: str = "level",
     adaptive: bool = False,
     shared_cache: SharedODCache | None = None,
+    kernel: str = "exact",
 ) -> LearningReport:
     """Run the sample-based learning process and average the priors.
 
@@ -97,6 +98,11 @@ def learn_priors(
         later batched query of a sample row replays the learning pass's
         work for free. Cached values are exact, so the learned priors
         are unaffected.
+    kernel:
+        Resolved OD-kernel selector for the sample searches (the miner
+        passes its fitted kernel so learning runs on the same fast
+        path as queries). Lossless pruning is preserved under either
+        kernel, so the learned fractions are unchanged.
     """
     if sample_size < 0:
         raise ConfigurationError(f"sample_size must be >= 0, got {sample_size}")
@@ -124,7 +130,9 @@ def learn_priors(
     p_up_sum = np.zeros(d + 1)
     report = LearningReport(priors=uniform, sample_rows=sample_rows)
     for row in sample_rows:
-        evaluator = ODEvaluator(backend, X[row], k, exclude=row, shared_cache=shared_cache)
+        evaluator = ODEvaluator(
+            backend, X[row], k, exclude=row, shared_cache=shared_cache, kernel=kernel
+        )
         outcome = DynamicSubspaceSearch(
             evaluator, threshold, uniform, reselect, adaptive=adaptive
         ).run()

@@ -31,12 +31,27 @@ Built-in metrics additionally implement two optional batched views:
     L_p distance over a subspace is a reduction of fixed per-dimension
     terms, so one component matrix serves *every* subspace evaluation
     of that query.
+``finalize_component_sums(sums)``
+    The GEMM hook: turns *already-summed* component totals into
+    distances (``sqrt`` for L2, identity for L1, ``s**(1/p)`` for
+    general L_p). Metrics whose subspace distance is a monotone
+    function of a plain **sum** of per-dimension components expose it,
+    which lets the level-wide OD kernel obtain every subspace's
+    component totals in one BLAS ``C @ M`` product over a 0/1 mask
+    matrix. Chebyshev reduces with ``max`` rather than ``+`` and so has
+    no such hook — :func:`resolve_kernel` routes it (and custom
+    metrics) to the exact per-mask kernel.
 
 Vectorised callers probe for these with ``getattr`` and fall back to
 per-query/per-subspace ``pairwise`` calls, so custom metrics keep
 working without them. The batched arithmetic performs the same
 elementwise operations and reduction order as the single-query path, so
-all views produce bit-identical distances.
+all views produce bit-identical distances. The GEMM view is the one
+exception: BLAS accumulates the per-dimension sum in its own order, so
+its distances agree with the exact views only to float tolerance —
+callers that make threshold decisions on GEMM output re-verify
+near-threshold values with the exact kernel (see
+:meth:`repro.core.od.ODEvaluator.od_many`).
 
 Monotonicity
 ------------
@@ -62,9 +77,17 @@ __all__ = [
     "ManhattanMetric",
     "ChebyshevMetric",
     "MinkowskiMetric",
+    "KERNELS",
     "get_metric",
+    "resolve_kernel",
+    "supports_gemm_kernel",
     "METRIC_REGISTRY",
 ]
+
+#: Valid OD-kernel selectors: ``"auto"`` picks GEMM when the metric
+#: supports it, ``"gemm"`` demands it (loud error otherwise),
+#: ``"exact"`` always runs the bit-exact per-mask kernel.
+KERNELS = ("auto", "gemm", "exact")
 
 
 @runtime_checkable
@@ -131,6 +154,9 @@ class EuclideanMetric:
         # pairwise's "ij,ij->i", so distances match bit-for-bit.
         return np.sqrt(np.einsum("...t->...", gathered))
 
+    def finalize_component_sums(self, sums: np.ndarray) -> np.ndarray:
+        return np.sqrt(sums)
+
     def point(self, a: np.ndarray, b: np.ndarray, dims) -> float:
         dims = _as_index(dims)
         diff = a[dims] - b[dims]
@@ -160,6 +186,9 @@ class ManhattanMetric:
     def reduce_components(self, gathered: np.ndarray) -> np.ndarray:
         # Same contiguous last-axis np.sum as pairwise's sum(axis=1).
         return gathered.sum(axis=-1)
+
+    def finalize_component_sums(self, sums: np.ndarray) -> np.ndarray:
+        return sums
 
     def point(self, a, b, dims) -> float:
         dims = _as_index(dims)
@@ -227,6 +256,9 @@ class MinkowskiMetric:
     def reduce_components(self, gathered: np.ndarray) -> np.ndarray:
         return np.power(gathered.sum(axis=-1), 1.0 / self.p)
 
+    def finalize_component_sums(self, sums: np.ndarray) -> np.ndarray:
+        return np.power(sums, 1.0 / self.p)
+
     def point(self, a, b, dims) -> float:
         dims = _as_index(dims)
         diff = np.abs(a[dims] - b[dims])
@@ -245,6 +277,48 @@ METRIC_REGISTRY: dict[str, type] = {
     "chebyshev": ChebyshevMetric,
     "linf": ChebyshevMetric,
 }
+
+
+def supports_gemm_kernel(metric: Metric) -> bool:
+    """Whether *metric* can serve the GEMM (level-wide) OD kernel.
+
+    Requires both halves of the linear component decomposition: a
+    per-dimension component matrix (``pairwise_components``) and a
+    monotone finalizer of plain component *sums*
+    (``finalize_component_sums``). Chebyshev (max-reduction) and custom
+    metrics without the hooks fail this test and run on the exact
+    kernel instead.
+    """
+    return hasattr(metric, "pairwise_components") and hasattr(
+        metric, "finalize_component_sums"
+    )
+
+
+def resolve_kernel(kernel: str, metric: Metric) -> str:
+    """Resolve an OD-kernel selector against a metric's capabilities.
+
+    ``"auto"`` silently falls back to ``"exact"`` when the metric lacks
+    a GEMM-compatible decomposition; an explicit ``"gemm"`` request
+    fails loudly instead — a caller who demanded the fast kernel must
+    not silently get the slow one.
+    """
+    if kernel not in KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {KERNELS}, got {kernel!r}"
+        )
+    if kernel == "exact":
+        return "exact"
+    if supports_gemm_kernel(metric):
+        return "gemm"
+    if kernel == "gemm":
+        name = getattr(metric, "name", repr(metric))
+        raise ConfigurationError(
+            f"kernel='gemm' requires a metric with a linear component "
+            f"decomposition (pairwise_components + finalize_component_sums); "
+            f"metric {name!r} reduces components with a non-additive rule or "
+            f"lacks the hooks — use kernel='auto' or kernel='exact'"
+        )
+    return "exact"
 
 
 def get_metric(metric: "Metric | str") -> Metric:

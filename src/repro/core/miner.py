@@ -31,6 +31,7 @@ from repro.core.exceptions import (
 )
 from repro.core.filtering import minimal_masks
 from repro.core.learning import LearningReport, learn_priors
+from repro.core.metrics import resolve_kernel
 from repro.core.od import ODEvaluator, SharedODCache, outlying_degree
 from repro.core.priors import PruningPriors
 from repro.core.result import BatchResult, OutlyingSubspaceResult
@@ -107,6 +108,7 @@ class HOSMiner:
         self._learning_report: LearningReport | None = None
         self._feature_names: list[str] | None = None
         self._od_cache: SharedODCache | None = None
+        self._kernel: str | None = None
         self.fit_time_s: float = 0.0
 
     # ------------------------------------------------------------------
@@ -135,6 +137,19 @@ class HOSMiner:
         self._backend = make_backend(
             self.config.index, X, metric=self.config.metric, **self.config.index_options
         )
+        # Resolve the OD-kernel selector against the *actual* metric and
+        # backend before any search runs: an explicit kernel="gemm" that
+        # cannot be served must fail here, loudly, not deep inside a
+        # query — and "auto" must report the kernel that will really run.
+        self._kernel = resolve_kernel(self.config.kernel, self._backend.metric)
+        if self._kernel == "gemm" and not hasattr(self._backend, "knn_distance_sums"):
+            if self.config.kernel == "gemm":
+                raise ConfigurationError(
+                    f"kernel='gemm' requires a backend with the level-wide "
+                    f"knn_distance_sums kernel; index {self.config.index!r} "
+                    f"answers kNN per subspace — use kernel='auto' or 'exact'"
+                )
+            self._kernel = "exact"
         # Per-fit shared OD cache: calibration and learning publish every
         # OD they compute, so batched queries of already-touched rows
         # replay fit-time work instead of redoing it.
@@ -163,6 +178,7 @@ class HOSMiner:
             reselect=self.config.reselect,
             adaptive=self.config.adaptive,
             shared_cache=self._od_cache,
+            kernel=self._kernel,
         )
         self._priors = self._learning_report.priors
         self._fitted = True
@@ -200,6 +216,13 @@ class HOSMiner:
         learning pass and batched queries; invalidated on refit/extend)."""
         self._require_fitted()
         return self._od_cache  # type: ignore[return-value]
+
+    @property
+    def kernel_(self) -> str:
+        """The resolved OD kernel (``"gemm"`` or ``"exact"``) — the
+        config's ``"auto"`` resolved against the fitted metric."""
+        self._require_fitted()
+        return self._kernel  # type: ignore[return-value]
 
     @property
     def d_(self) -> int:
@@ -260,6 +283,7 @@ class HOSMiner:
                 reselect=self.config.reselect,
                 adaptive=self.config.adaptive,
                 shared_cache=self._od_cache,
+                kernel=self._kernel,
             )
             self._priors = self._learning_report.priors
         return self
@@ -354,7 +378,9 @@ class HOSMiner:
             query, exclude = self._X[int(target)], int(target)  # type: ignore[index]
         else:
             query, exclude = np.asarray(target, dtype=np.float64), None
-        evaluator = ODEvaluator(self._backend, query, self.config.k, exclude=exclude)
+        evaluator = ODEvaluator(
+            self._backend, query, self.config.k, exclude=exclude, kernel=self._kernel
+        )
         return self._make_search(evaluator).run(), evaluator
 
     # ------------------------------------------------------------------
@@ -394,7 +420,9 @@ class HOSMiner:
         )
 
     def _run_query(self, query: np.ndarray, exclude: int | None) -> OutlyingSubspaceResult:
-        evaluator = ODEvaluator(self._backend, query, self.config.k, exclude=exclude)
+        evaluator = ODEvaluator(
+            self._backend, query, self.config.k, exclude=exclude, kernel=self._kernel
+        )
         outcome = self._make_search(evaluator).run()
         return self._build_result(outcome, evaluator)
 

@@ -37,10 +37,32 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError, DataShapeError
+from repro.core.metrics import resolve_kernel
 from repro.core.subspace import Subspace, dims_of_mask
 from repro.index.base import KnnBackend
 
-__all__ = ["ODEvaluator", "SharedODCache", "outlying_degree"]
+__all__ = [
+    "GEMM_REVERIFY_RTOL",
+    "ODEvaluator",
+    "SharedODCache",
+    "near_threshold",
+    "outlying_degree",
+]
+
+#: Relative half-width of the band around the threshold inside which a
+#: GEMM-computed OD is re-verified with the exact kernel. BLAS-vs-exact
+#: accumulation differences are ~1e-13 relative at realistic d, so 1e-9
+#: leaves four orders of magnitude of margin while re-verifying almost
+#: nothing: outside the band the two kernels provably agree on the
+#: ``OD >= T`` decision, inside it the exact kernel decides.
+GEMM_REVERIFY_RTOL = 1e-9
+
+
+def near_threshold(value: float, threshold: float) -> bool:
+    """Whether a GEMM OD value is too close to ``T`` to decide alone."""
+    return abs(value - threshold) <= GEMM_REVERIFY_RTOL * (
+        abs(value) + abs(threshold) + 1.0
+    )
 
 
 def outlying_degree(
@@ -127,6 +149,11 @@ class ODEvaluator:
         Optional per-fit :class:`SharedODCache`; when given, OD values
         are looked up there after the local cache misses and every
         computed value is published for other evaluators to reuse.
+    kernel:
+        OD-kernel selector for :meth:`od_many` — ``"exact"`` (default),
+        ``"gemm"`` or ``"auto"``; resolved once against the backend's
+        metric (an explicit ``"gemm"`` with an incapable metric fails
+        here, loudly). Single-mask :meth:`od` always runs exact.
 
     Notes
     -----
@@ -143,6 +170,7 @@ class ODEvaluator:
         k: int,
         exclude: int | None = None,
         shared_cache: SharedODCache | None = None,
+        kernel: str = "exact",
     ) -> None:
         query = self._validate_query(query, backend.d)
         available = backend.size - (1 if exclude is not None else 0)
@@ -154,6 +182,8 @@ class ODEvaluator:
         self.query = query
         self.k = k
         self.exclude = exclude
+        metric = getattr(backend, "metric", None)
+        self.kernel = "exact" if metric is None else resolve_kernel(kernel, metric)
         self.evaluations = 0
         self.cache_hits = 0
         self.shared_hits = 0
@@ -162,6 +192,8 @@ class ODEvaluator:
         self._point_key = (
             SharedODCache.point_key(query, exclude) if shared_cache is not None else None
         )
+        self._components: np.ndarray | None = None
+        self._components_probed = False
 
     @staticmethod
     def _validate_query(query: np.ndarray, d: int) -> np.ndarray:
@@ -195,6 +227,88 @@ class ODEvaluator:
         self._store(mask, value)
         self.evaluations += 1
         return value
+
+    def od_many(self, masks: Sequence[int], threshold: float | None = None) -> dict[int, float]:
+        """OD of the query point in every subspace of *masks* at once.
+
+        The level-wide evaluation point of the sequential search: cache
+        replays are split off mask by mask, and every remaining subspace
+        is served by **one** backend ``knn_distance_sums`` call under
+        this evaluator's kernel — for ``kernel="gemm"`` that is the
+        single-GEMM level kernel, with a per-query component matrix
+        reused across every level of the search.
+
+        When *threshold* is given and the GEMM kernel computed the
+        values, any value inside the :func:`near_threshold` band is
+        re-computed with the exact kernel and replaced, so the caller's
+        ``OD >= threshold`` decisions are guaranteed to match what the
+        exact kernel would have decided — the pruning contract of the
+        kernel knob.
+        """
+        values: dict[int, float] = {}
+        new_masks: list[int] = []
+        for mask in masks:
+            cached = self.cached_od(mask)
+            if cached is not None:
+                values[mask] = cached
+            else:
+                new_masks.append(mask)
+        if not new_masks:
+            return values
+        sums_fn = getattr(self.backend, "knn_distance_sums", None)
+        if sums_fn is None:
+            # Tree backends: no level kernel, one branch-and-bound kNN
+            # per subspace (their per-query descent is inherently serial).
+            for mask in new_masks:
+                values[mask] = self.od(mask)
+            return values
+        dims_arrays = [
+            np.asarray(dims_of_mask(mask), dtype=np.intp) for mask in new_masks
+        ]
+        components = self._ensure_components(len(dims_arrays))
+        sums = sums_fn(
+            self.query,
+            self.k,
+            dims_arrays,
+            exclude=self.exclude,
+            components=components,
+            kernel=self.kernel,
+        )
+        if self.kernel == "gemm" and threshold is not None:
+            for idx in range(len(new_masks)):
+                if near_threshold(float(sums[idx]), threshold):
+                    sums[idx] = sums_fn(
+                        self.query,
+                        self.k,
+                        [dims_arrays[idx]],
+                        exclude=self.exclude,
+                        components=components,
+                        kernel="exact",
+                    )[0]
+        for mask, value in zip(new_masks, sums):
+            value = float(value)
+            self._store(mask, value)
+            self.evaluations += 1
+            values[mask] = value
+        return values
+
+    def _ensure_components(self, new_count: int) -> "np.ndarray | None":
+        """Lazily build the per-query distance-component matrix.
+
+        Allocated on the first multi-subspace evaluation and kept for
+        the evaluator's lifetime — a search revisits the backend once
+        per lattice level, and one ``(n, d)`` matrix serves them all.
+        """
+        if (
+            self._components is None
+            and not self._components_probed
+            and (new_count > 1 or self.kernel == "gemm")
+        ):
+            self._components_probed = True
+            components_fn = getattr(self.backend, "distance_components", None)
+            if components_fn is not None:
+                self._components = components_fn(self.query)
+        return self._components
 
     def cached_od(self, mask: int) -> float | None:
         """Cached OD for *mask* (local, then shared), or ``None``.

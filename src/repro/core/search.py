@@ -178,7 +178,18 @@ class DynamicSubspaceSearch:
         self.max_evaluations = max_evaluations
 
     def run(self) -> SearchOutcome:
-        """Execute the search to completion and return the outcome."""
+        """Execute the search to completion and return the outcome.
+
+        Each step evaluates the whole selected batch of masks through
+        :meth:`ODEvaluator.od_many` — one level-wide kernel call under
+        the evaluator's kernel (a single GEMM for ``kernel="gemm"``) —
+        then replays the per-mask pruning decisions in order. Same-level
+        subspaces cannot prune one another, so batch evaluation decides
+        exactly what per-mask evaluation would have decided; passing the
+        threshold lets ``od_many`` re-verify near-threshold GEMM values
+        with the exact kernel, keeping the answer set identical across
+        kernels.
+        """
         start = time.perf_counter()
         lattice = SubspaceLattice(self.evaluator.backend.d)
         stats = SearchStats()
@@ -186,11 +197,20 @@ class DynamicSubspaceSearch:
         cursors: dict[int, int] = {}
         while lattice.has_unknown():
             level, masks = self._next_step(lattice, stats, cursors)
+            eval_masks = masks
+            if self.max_evaluations is not None:
+                # Never compute more ODs than the budget can record: the
+                # loop below raises at mask `remaining`, so values past
+                # it would be pure wasted (and unbounded) kernel work.
+                remaining = self.max_evaluations - stats.od_evaluations
+                eval_masks = masks[: max(0, remaining)]
+            values = self.evaluator.od_many(eval_masks, threshold=self.threshold)
             for mask in masks:
-                # Same-level subspaces cannot prune one another, but the
-                # guard keeps the loop robust if that ever changes.
+                # The guard keeps the loop robust if same-level pruning
+                # ever becomes possible.
                 if lattice.is_unknown(mask):
-                    self._evaluate(mask, level, lattice, stats)
+                    self._check_budget(lattice, stats)
+                    self._record(mask, values[mask], level, lattice, stats)
         return self._finish(lattice, stats, start)
 
     def run_stepped(
@@ -308,13 +328,6 @@ class DynamicSubspaceSearch:
         if m == lattice.d:
             p_up_new = 0.0
         return p_up_new, p_down_new
-
-    def _evaluate(
-        self, mask: int, level: int, lattice: SubspaceLattice, stats: SearchStats
-    ) -> None:
-        self._check_budget(lattice, stats)
-        od_value = self.evaluator.od(mask)
-        self._record(mask, od_value, level, lattice, stats)
 
     def _check_budget(self, lattice: SubspaceLattice, stats: SearchStats) -> None:
         if (

@@ -23,7 +23,14 @@ import numpy as np
 
 from repro.index.stats import IndexStats
 
-__all__ = ["KnnBackend", "knn_batch_fallback", "normalize_excludes", "validate_query_matrix"]
+__all__ = [
+    "KnnBackend",
+    "knn_batch_fallback",
+    "mask_matrix",
+    "normalize_excludes",
+    "validate_query_matrix",
+    "validate_sums_request",
+]
 
 
 @runtime_checkable
@@ -102,6 +109,56 @@ class KnnBackend(Protocol):
         Backends without a vectorised multi-query path may implement
         this as :func:`knn_batch_fallback`, which loops over :meth:`knn`.
         """
+
+
+def mask_matrix(dims_list: "Sequence[np.ndarray]", d: int) -> np.ndarray:
+    """Pack subspace dimension lists into a 0/1 selection matrix.
+
+    Returns the ``(m, d)`` float64 matrix ``M`` with ``M[j, dim] = 1``
+    for every dimension of subspace ``j`` — the left-hand operand of
+    the level-wide OD kernel's ``M @ C.T`` GEMM. Putting masks on the
+    left makes the (freshly allocated, C-order) product mask-major: row
+    ``j`` holds subspace ``j``'s per-point component sums contiguously,
+    which is the layout the axis-wise top-k partition wants.
+    """
+    M = np.zeros((len(dims_list), d))
+    for j, dims in enumerate(dims_list):
+        M[j, dims] = 1.0
+    return M
+
+
+def validate_sums_request(
+    dims_list,
+    validate_dims,
+    k: int,
+    size: int,
+    excludes: "Sequence[int | None]",
+) -> "list[np.ndarray]":
+    """Shared argument validation of the OD-sum kernels.
+
+    Coerces every entry of *dims_list* through the backend's
+    *validate_dims* (ready-made intp arrays are trusted — the batch
+    engine validates and caches them once per mask) and checks ``k``
+    against the candidate rows available to each exclusion. One helper
+    so every backend's sums kernel validates — and errors — identically.
+    """
+    from repro.core.exceptions import ConfigurationError
+
+    dims_arrays = [
+        dims
+        if isinstance(dims, np.ndarray) and dims.dtype == np.intp
+        else validate_dims(dims)
+        for dims in dims_list
+    ]
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    for exclude in excludes:
+        available = size - (1 if exclude is not None else 0)
+        if k > available:
+            raise ConfigurationError(
+                f"k={k} neighbours requested but only {available} candidate rows exist"
+            )
+    return dims_arrays
 
 
 def normalize_excludes(

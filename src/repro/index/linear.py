@@ -19,8 +19,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError, DataShapeError
-from repro.core.metrics import Metric, get_metric
-from repro.index.base import normalize_excludes, validate_query_matrix
+from repro.core.metrics import Metric, get_metric, resolve_kernel
+from repro.index.base import (
+    mask_matrix,
+    normalize_excludes,
+    validate_query_matrix,
+    validate_sums_request,
+)
 from repro.index.stats import IndexStats
 
 __all__ = ["LinearScanIndex", "BLOCK_ROWS"]
@@ -52,7 +57,12 @@ class LinearScanIndex:
         X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] == 0 or X.shape[1] == 0:
             raise DataShapeError(f"expected a non-empty (n, d) matrix, got shape {X.shape}")
-        self._X = X
+        # The scanned matrix lives in a capacity-doubling buffer so that
+        # insert() is amortised O(d) instead of an O(n·d) vstack per
+        # call; _X is always the contiguous first-_n-rows view.
+        self._buf = X
+        self._n = X.shape[0]
+        self._X = self._buf[: self._n]
         self.metric = get_metric(metric)
         self.stats = IndexStats()
 
@@ -163,11 +173,11 @@ class LinearScanIndex:
     def distance_components(self, query: np.ndarray) -> "np.ndarray | None":
         """Per-dimension distance contribution matrix for *query*.
 
-        Shape ``(n, d)``; feed slices of it to :meth:`knn_masks` to
-        answer many subspace queries for the same point without
-        recomputing any per-dimension term. Returns ``None`` when the
-        metric does not expose a component decomposition (custom
-        metrics) — callers then fall back to plain :meth:`knn`.
+        Shape ``(n, d)``; feed it to :meth:`knn_distance_sums` to answer
+        many subspace queries for the same point without recomputing any
+        per-dimension term. Returns ``None`` when the metric does not
+        expose a component decomposition (custom metrics) — callers then
+        fall back to plain :meth:`knn`.
         """
         components_fn = getattr(self.metric, "pairwise_components", None)
         if components_fn is None or not hasattr(self.metric, "reduce_components"):
@@ -175,6 +185,11 @@ class LinearScanIndex:
             # matrix is useless without the matching reduction.
             return None
         query, _ = self._validate(query, range(self.d))
+        # Building the matrix is one full per-dimension pass over the
+        # data — the same logical work as one full-space distance scan —
+        # and is charged here, once; later component-reuse calls charge
+        # only gathers (see knn_distance_sums).
+        self._account_scan()
         return components_fn(self._X, query)
 
     def knn_distance_sums(
@@ -184,52 +199,71 @@ class LinearScanIndex:
         dims_list: "Sequence[Sequence[int]]",
         exclude: int | None = None,
         components: "np.ndarray | None" = None,
+        kernel: str = "exact",
     ) -> np.ndarray:
         """Sum of the ``k`` smallest distances in many subspaces at once.
 
-        The OD kernel of the batched engine — the dual of
+        The OD kernel of the search engines — the dual of
         :meth:`knn_batch`: there the query axis is vectorised for one
-        subspace, here one query is evaluated in ``K`` subspaces. With a
-        precomputed *components* matrix (see
-        :meth:`distance_components`) each subspace's distances come from
-        a gather-and-reduce over cached per-dimension terms instead of a
-        fresh projection pass; without one, each subspace falls back to
-        the metric's ``pairwise``.
+        subspace, here one query is evaluated in ``m`` subspaces. Two
+        kernels serve the call:
 
-        Every returned value is bit-identical to
-        ``float(knn(query, k, dims, exclude)[1].sum())``: the gathered
-        reduction replays ``pairwise``'s arithmetic exactly, and the
-        ``k`` smallest distances are summed in ascending order — the
-        same value sequence the sorted kNN result produces (ties are
-        equal values, so neighbour identity cannot change the sum).
+        ``kernel="exact"`` (default)
+            One gather-and-reduce per subspace over the *components*
+            matrix (see :meth:`distance_components`) when given, else
+            one ``pairwise`` projection pass per subspace. Every value
+            is bit-identical to
+            ``float(knn(query, k, dims, exclude)[1].sum())``: the
+            gathered reduction replays ``pairwise``'s arithmetic
+            exactly, and the ``k`` smallest distances are summed in
+            ascending order — the same value sequence the sorted kNN
+            result produces (ties are equal values, so neighbour
+            identity cannot change the sum).
+        ``kernel="gemm"`` (or ``"auto"`` with a capable metric)
+            The level-wide kernel: all ``m`` subspaces' component sums
+            come from one BLAS product ``M @ C.T`` of the 0/1 mask
+            matrix against the component matrix, followed by one
+            axis-wise top-k partition. Per-mask Python looping, dimension
+            gathers and reduction passes all disappear into the GEMM.
+            BLAS accumulates in its own order, so values agree with the
+            exact kernel to float tolerance (~1e-13 relative) rather
+            than bit-for-bit — threshold decisions made on GEMM output
+            are re-verified near the threshold by the OD layer.
         """
         query = np.asarray(query, dtype=np.float64)
         if query.shape != (self.d,):
             raise DataShapeError(
                 f"query must be a length-{self.d} vector, got shape {query.shape}"
             )
-        # Ready-made intp arrays are trusted (the batch engine validates
-        # and caches them once per mask); anything else is checked here.
-        dims_arrays = [
-            dims
-            if isinstance(dims, np.ndarray) and dims.dtype == np.intp
-            else self._validate_dims(dims)
-            for dims in dims_list
-        ]
-        available = self.size - (1 if exclude is not None else 0)
-        if k < 1:
-            raise ConfigurationError(f"k must be >= 1, got {k}")
-        if k > available:
-            raise ConfigurationError(
-                f"k={k} neighbours requested but only {available} candidate rows exist"
-            )
+        dims_arrays = validate_sums_request(
+            dims_list, self._validate_dims, k, self.size, [exclude]
+        )
+        kernel = resolve_kernel(kernel, self.metric)
+        count = len(dims_arrays)
+        if count == 0:
+            return np.empty(0)
 
-        sums = np.empty(len(dims_arrays))
+        if kernel == "gemm":
+            if components is None:
+                components = self.metric.pairwise_components(self._X, query)
+                self._account_scan()
+            S = mask_matrix(dims_arrays, self.d) @ components.T
+            if exclude is not None:
+                S[:, exclude] = np.inf
+            sums = self._topk_sums(S, k)
+            self.stats.bump("gemm_flops", 2 * self.size * self.d * count)
+            self.stats.knn_queries += count
+            return sums
+
+        sums = np.empty(count)
+        gathered_terms = 0
         for j, dims in enumerate(dims_arrays):
             if components is not None:
                 distances = self.metric.reduce_components(components[:, dims])
+                gathered_terms += self.size * dims.size
             else:
                 distances = self.metric.pairwise(self._X, query, dims)
+                self._account_scan()
             if exclude is not None:
                 distances[exclude] = np.inf
             # In-place partition + sort of the k-prefix: `distances` is a
@@ -239,11 +273,103 @@ class LinearScanIndex:
             smallest = distances[:k]
             smallest.sort()
             sums[j] = smallest.sum()
-        count = len(dims_arrays)
-        self.stats.distance_computations += count * self.size
-        self.stats.node_accesses += count * (-(-self.size // BLOCK_ROWS))
+        if gathered_terms:
+            # Component reuse redoes no per-dimension work — it re-reads
+            # cached terms. Charging a full scan here (as the first
+            # batched engine did) would overstate E1–E5 distance counts,
+            # so gathers get their own counter.
+            self.stats.bump("component_gathers", gathered_terms)
         self.stats.knn_queries += count
         return sums
+
+    def knn_distance_sums_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        excludes: "Sequence[int | None] | None" = None,
+        components_list: "Sequence[np.ndarray | None] | None" = None,
+        kernel: str = "auto",
+    ) -> np.ndarray:
+        """OD sums for every ``(query row, subspace)`` pair, ``(q, m)``.
+
+        The mask-major fusion point of the batched engine: when several
+        concurrent searches request the same subspace list in one round,
+        their component matrices are stacked into ``C_batch`` and a
+        single ``M @ C_batch.T`` GEMM serves every search at once. Each
+        query's block of the product is then reduced exactly like the
+        single-query kernel, so ``out[i]`` equals
+        ``knn_distance_sums(queries[i], ...)`` under the same kernel.
+
+        The query axis is chunked so the ``(m, chunk·n)`` product stays
+        under :data:`BATCH_CHUNK_BYTES`; chunking never changes results.
+        """
+        queries = validate_query_matrix(queries, self.d)
+        q_count = queries.shape[0]
+        excludes = normalize_excludes(excludes, q_count, self.size)
+        dims_arrays = validate_sums_request(
+            dims_list, self._validate_dims, k, self.size, excludes
+        )
+        kernel = resolve_kernel(kernel, self.metric)
+        m = len(dims_arrays)
+        out = np.empty((q_count, m))
+        if q_count == 0 or m == 0:
+            return out
+        if components_list is None:
+            components_list = [None] * q_count
+
+        if kernel == "exact":
+            for i in range(q_count):
+                out[i] = self.knn_distance_sums(
+                    queries[i],
+                    k,
+                    dims_arrays,
+                    exclude=excludes[i],
+                    components=components_list[i],
+                    kernel="exact",
+                )
+            return out
+
+        n = self.size
+        M = mask_matrix(dims_arrays, self.d)
+        # Both per-chunk intermediates — the (m, chunk·n) product and the
+        # (chunk·n, d) stacked component matrix — must fit the budget.
+        chunk = max(1, BATCH_CHUNK_BYTES // (n * max(m, self.d) * 8))
+        for start in range(0, q_count, chunk):
+            stop = min(start + chunk, q_count)
+            parts = []
+            for i in range(start, stop):
+                C = components_list[i]
+                if C is None:
+                    C = self.metric.pairwise_components(self._X, queries[i])
+                    self._account_scan()
+                parts.append(C)
+            C_batch = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            S = M @ C_batch.T  # (m, chunk·n): every search's sums at once
+            for i in range(start, stop):
+                block = S[:, (i - start) * n : (i - start + 1) * n]
+                if excludes[i] is not None:
+                    block[:, excludes[i]] = np.inf
+                out[i] = self._topk_sums(block, k)
+        self.stats.bump("gemm_flops", 2 * n * self.d * m * q_count)
+        self.stats.knn_queries += q_count * m
+        return out
+
+    def _topk_sums(self, S: np.ndarray, k: int) -> np.ndarray:
+        """Reduce an ``(m, n)`` component-sum block to per-row OD sums.
+
+        Partitions each row in place (S is owned by the caller), sorts
+        the k-prefix, finalizes component sums into distances only for
+        those ``m·k`` entries — the L_p finalizers are monotone, so
+        selecting on component sums selects exactly the k nearest — and
+        sums ascending. Row layout (contiguous vs strided view) cannot
+        change the result: the sorted k-prefix is determined by values
+        alone.
+        """
+        S.partition(k - 1, axis=1)
+        prefix = S[:, :k]
+        prefix.sort(axis=1)
+        return self.metric.finalize_component_sums(prefix).sum(axis=1)
 
     def range_query(
         self,
@@ -264,13 +390,24 @@ class LinearScanIndex:
         return np.flatnonzero(hits)
 
     def insert(self, point: np.ndarray) -> int:
-        """Append a point to the scanned matrix; returns its row id."""
+        """Append a point to the scanned matrix; returns its row id.
+
+        Amortised O(d): the point is written into spare buffer capacity,
+        and the buffer doubles when full, so ``extend``-heavy dynamic
+        workloads pay O(n·d) total for n inserts instead of O(n²·d).
+        """
         point = np.asarray(point, dtype=np.float64)
         if point.shape != (self.d,):
             raise DataShapeError(
                 f"point must be a length-{self.d} vector, got shape {point.shape}"
             )
-        self._X = np.ascontiguousarray(np.vstack([self._X, point[None, :]]))
+        if self._n == self._buf.shape[0]:
+            grown = np.empty((max(2 * self._n, self._n + 1), self.d))
+            grown[: self._n] = self._buf
+            self._buf = grown
+        self._buf[self._n] = point
+        self._n += 1
+        self._X = self._buf[: self._n]
         return self.size - 1
 
     # -- internals ------------------------------------------------------------

@@ -30,6 +30,15 @@ class IndexStats:
         Box lower-bound evaluations (tree backends only).
     knn_queries / range_queries:
         Number of top-level queries answered.
+    extra:
+        Backend-specific named counters. The scan backends use
+        ``component_gathers`` (per-dimension terms re-read from a cached
+        component matrix — reuse traffic, deliberately *not* counted as
+        distance computations because no per-dimension arithmetic is
+        redone), ``gemm_flops`` (floating-point operations spent in the
+        level-wide ``M @ C.T`` OD kernel) and, for the VA-file,
+        ``candidates_refined`` (points surviving the approximation
+        prefilter).
     """
 
     node_accesses: int = 0

@@ -46,8 +46,14 @@ from repro.core.metrics import (
     Metric,
     MinkowskiMetric,
     get_metric,
+    resolve_kernel,
 )
-from repro.index.base import normalize_excludes, validate_query_matrix
+from repro.index.base import (
+    mask_matrix,
+    normalize_excludes,
+    validate_query_matrix,
+    validate_sums_request,
+)
 from repro.index.stats import IndexStats
 
 __all__ = ["VAFile", "APPROX_BLOCK_ROWS"]
@@ -257,6 +263,149 @@ class VAFile:
                 results.append((candidates[order], distances[order]))
         self.stats.knn_queries += m
         return results
+
+    def knn_distance_sums(
+        self,
+        query: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        exclude: int | None = None,
+        components: "np.ndarray | None" = None,
+        kernel: str = "exact",
+    ) -> np.ndarray:
+        """Sum of the ``k`` smallest distances in many subspaces at once.
+
+        The VA-file's OD kernel: subspace bounds come from the
+        approximation file, the survivors are refined exactly, and the
+        ``k`` smallest exact distances are summed ascending — so every
+        value is bit-identical to ``float(knn(...)[1].sum())`` under
+        **either** kernel (the kernels differ only in how the candidate
+        prefilter is computed, and any superset of the true kNN refines
+        to the same answer).
+
+        ``kernel="gemm"`` builds per-dimension lower/upper gap component
+        tables once (power-domain, one approximation-file pass) and
+        derives every subspace's bounds with two ``M @ G.T`` GEMMs; a
+        tiny relative slack on the pruning comparison absorbs the BLAS
+        accumulation-order difference, which can only *add* candidates,
+        never lose a true neighbour. ``kernel="exact"`` computes bounds
+        per mask exactly as :meth:`knn` does. The *components* argument
+        is accepted for interface parity and ignored — refinement always
+        gathers exact rows itself.
+        """
+        del components  # interface parity with LinearScanIndex
+        query, _ = self._validate(query, range(self.d))
+        dims_arrays = validate_sums_request(
+            dims_list, self._validate_dims, k, self.size, [exclude]
+        )
+        kernel = resolve_kernel(kernel, self.metric)
+        count = len(dims_arrays)
+        if count == 0:
+            return np.empty(0)
+
+        sums = np.empty(count)
+        if kernel == "gemm":
+            lower_gaps, upper_gaps = self._gap_components(query)
+            M = mask_matrix(dims_arrays, self.d)
+            # Power-domain bounds for every (point, subspace) pair in
+            # two GEMMs; the L_p root is monotone, so candidate
+            # selection can stay in the power domain.
+            SL = M @ lower_gaps.T
+            SU = M @ upper_gaps.T
+            if exclude is not None:
+                SL[:, exclude] = np.inf
+                SU[:, exclude] = np.inf
+            SU.partition(k - 1, axis=1)
+            taus = SU[:, k - 1]
+            self.stats.mindist_computations += count * self.size
+            self.stats.bump("gemm_flops", 2 * 2 * self.size * self.d * count)
+            for j, dims in enumerate(dims_arrays):
+                # Slack absorbs GEMM-vs-exact bound noise: loosening the
+                # filter only adds refinements, never drops a neighbour.
+                slack = 1e-9 * (taus[j] + 1.0)
+                candidates = np.flatnonzero(SL[j] <= taus[j] + slack)
+                sums[j] = self._refine_sum(query, k, dims, candidates)
+        else:
+            for j, dims in enumerate(dims_arrays):
+                lower, upper = self._bounds(query, dims)
+                if exclude is not None:
+                    lower[exclude] = np.inf
+                    upper[exclude] = np.inf
+                tau = np.partition(upper, k - 1)[k - 1]
+                candidates = np.flatnonzero(lower <= tau)
+                sums[j] = self._refine_sum(query, k, dims, candidates)
+        self.stats.knn_queries += count
+        return sums
+
+    def knn_distance_sums_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        excludes: "Sequence[int | None] | None" = None,
+        components_list: "Sequence[np.ndarray | None] | None" = None,
+        kernel: str = "auto",
+    ) -> np.ndarray:
+        """OD sums for every ``(query row, subspace)`` pair, ``(q, m)``.
+
+        Candidate refinement is inherently query-local for a VA-file, so
+        this is a loop over :meth:`knn_distance_sums` — each query still
+        gets the one-pass gap tables and two-GEMM bound derivation.
+        """
+        del components_list  # interface parity with LinearScanIndex
+        queries = validate_query_matrix(queries, self.d)
+        excludes = normalize_excludes(excludes, queries.shape[0], self.size)
+        out = np.empty((queries.shape[0], len(dims_list)))
+        for i, (query, exclude) in enumerate(zip(queries, excludes)):
+            out[i] = self.knn_distance_sums(
+                query, k, dims_list, exclude=exclude, kernel=kernel
+            )
+        return out
+
+    def _refine_sum(
+        self, query: np.ndarray, k: int, dims: np.ndarray, candidates: np.ndarray
+    ) -> float:
+        """Exact OD sum over a candidate superset of the true kNN."""
+        self.stats.bump("candidates_refined", int(candidates.size))
+        distances = self.metric.pairwise(self._X[candidates], query, dims)
+        self.stats.distance_computations += int(candidates.size)
+        self.stats.node_accesses += int(candidates.size)
+        distances.partition(k - 1)
+        smallest = distances[:k]
+        smallest.sort()
+        return float(smallest.sum())
+
+    def _gap_components(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-dimension power-domain gap tables, each ``(n, d)``.
+
+        One approximation-file pass builds the lower-bound (cell gap)
+        and upper-bound (farthest corner) contribution of every
+        ``(point, dim)`` pair; any subspace's bounds are then plain sums
+        of columns — exactly the shape the mask-matrix GEMM consumes.
+        Chebyshev never reaches here (``resolve_kernel`` routes its
+        max-reduction to the exact kernel).
+        """
+        n, d = self.size, self.d
+        lower_gaps = np.empty((n, d))
+        upper_gaps = np.empty((n, d))
+        for dim in range(d):
+            edges = self.boundaries[dim]
+            q = query[dim]
+            cell_lower = edges[:-1]
+            cell_upper = edges[1:]
+            low_gap = np.maximum(0.0, np.maximum(cell_lower - q, q - cell_upper))
+            up_gap = np.maximum(np.abs(q - cell_lower), np.abs(q - cell_upper))
+            if self._order == 2.0:
+                low_gap = low_gap * low_gap
+                up_gap = up_gap * up_gap
+            elif self._order != 1.0:
+                low_gap = np.power(low_gap, self._order)
+                up_gap = np.power(up_gap, self._order)
+            codes = self._approx[:, dim]
+            lower_gaps[:, dim] = low_gap[codes]
+            upper_gaps[:, dim] = up_gap[codes]
+        self.stats.node_accesses += -(-n // APPROX_BLOCK_ROWS)
+        return lower_gaps, upper_gaps
 
     def range_query(
         self,
