@@ -7,7 +7,8 @@ full E0 table.
 
 from __future__ import annotations
 
-from repro.bench.experiments import e0_savings
+from repro.bench.experiments import E0_SPEC
+from repro.bench.script import run_script
 from repro.core.savings import (
     TSFInputs,
     downward_saving_factor,
@@ -55,9 +56,7 @@ def test_benchmark_saving_factor_tables(benchmark):
 
 
 def main() -> None:
-    experiment = e0_savings()
-    experiment.print()
-    experiment.save()
+    run_script(E0_SPEC)
 
 
 if __name__ == "__main__":

@@ -7,12 +7,11 @@ regenerates the E10 table.
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
 from repro.baselines.naive_search import fixed_order_search
-from repro.bench.experiments import e10_ablation
+from repro.bench.experiments import E10_SPEC
+from repro.bench.script import run_script
 from repro.core.od import ODEvaluator
 from repro.core.priors import PruningPriors
 from repro.core.search import DynamicSubspaceSearch
@@ -68,9 +67,7 @@ def test_benchmark_tsf_uniform_inlier(benchmark, miner_d10, workload_d10):
 
 
 def main() -> None:
-    experiment = e10_ablation(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E10_SPEC)
 
 
 if __name__ == "__main__":

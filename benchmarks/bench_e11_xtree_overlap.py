@@ -7,11 +7,10 @@ table.
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
-from repro.bench.experiments import e11_xtree_overlap
+from repro.bench.experiments import E11_SPEC
+from repro.bench.script import run_script
 from repro.index.xtree import XTree
 
 
@@ -27,9 +26,7 @@ def test_benchmark_xtree_build_by_overlap(benchmark, uniform_16d, max_overlap):
 
 
 def main() -> None:
-    experiment = e11_xtree_overlap(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E11_SPEC)
 
 
 if __name__ == "__main__":

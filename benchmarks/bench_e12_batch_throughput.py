@@ -8,114 +8,28 @@ measures the end-to-end effect on a traffic-shaped workload: a mix of
 dataset rows and external points with the repetition every real query
 stream has (hot points recur).
 
-``python benchmarks/bench_e12_batch_throughput.py`` prints the full
-queries/sec table; ``--fast`` runs a reduced grid suitable for CI smoke
-jobs. The pytest-benchmark twins time the two paths on a small fixed
-batch for regression tracking.
+The measurement lives in :data:`repro.bench.perf.E12_SPEC`; this script
+is its classic entry point. ``python
+benchmarks/bench_e12_batch_throughput.py`` prints the full queries/sec
+table; ``--fast`` runs the CI smoke grid; ``--save [PATH]`` writes the
+canonical ``BENCH_e12.json`` snapshot (the committed baseline the CI
+regression gate compares against — see docs/benchmarking.md). The
+pytest-benchmark twins time the two paths on a small fixed batch.
 """
 
 from __future__ import annotations
 
-import argparse
-import time
-
-import numpy as np
-
-from repro.bench.workloads import SEED, planted_workload, standard_miner
-
-
-def make_traffic(workload, m: int, hot_fraction: float = 0.3):
-    """A traffic-shaped target list: rows, external points, repeats.
-
-    Production query streams are Zipf-heavy — a small set of hot points
-    accounts for a disproportionate share of requests. Here roughly
-    ``hot_fraction`` of the batch re-queries a small hot set (rows and
-    external points alike), the planted outliers are queried (the
-    expensive searches real monitoring traffic cares about), and the
-    rest are unique rows and fresh external points near the manifold.
-    """
-    X = workload.dataset.X
-    n, d = X.shape
-    rng = np.random.default_rng(SEED + 4242)
-    targets: list = list(workload.query_rows)
-
-    hot_rows = [int(row) for row in rng.choice(n, size=4, replace=False)]
-    hot_points = list(
-        X[rng.choice(n, size=4, replace=False)]
-        + rng.normal(scale=0.05, size=(4, d))
-    )
-    # The planted outliers belong in the hot set: monitoring traffic
-    # re-polls exactly the entities it has flagged, and those are the
-    # expensive (eval-heavy) searches.
-    hot_pool = list(workload.query_rows) + hot_rows + hot_points
-    while len(targets) < m:
-        draw = rng.random()
-        if draw < hot_fraction:
-            targets.append(hot_pool[int(rng.integers(len(hot_pool)))])
-        elif draw < 0.5 + hot_fraction / 2:
-            targets.append(int(rng.integers(n)))
-        else:
-            base = X[int(rng.integers(n))] + rng.normal(scale=0.05, size=d)
-            targets.append(base)
-    return targets[:m]
-
-
-def run_comparison(n: int, d: int, m: int, workers: int = 2) -> dict:
-    """Time sequential vs batched vs multiprocess on one workload.
-
-    ``threshold_quantile=0.9`` keeps a meaningful share of the batch in
-    the eval-heavy regime (searches that actually walk the lattice) —
-    with an ultra-tight threshold nearly every query resolves in one
-    full-space evaluation and every implementation is bound by the same
-    per-query bookkeeping.
-    """
-    workload = planted_workload(n=n, d=d, seed_offset=12)
-    miner = standard_miner(workload, threshold_quantile=0.9)
-    targets = make_traffic(workload, m)
-
-    start = time.perf_counter()
-    sequential = [miner.query(target) for target in targets]
-    sequential_s = time.perf_counter() - start
-
-    batch = miner.query_batch(targets)
-
-    # A fresh fit for the workers run so its cache starts equally warm.
-    miner_mp = standard_miner(workload, threshold_quantile=0.9)
-    start = time.perf_counter()
-    miner_mp.query_batch(targets, workers=workers)
-    workers_s = time.perf_counter() - start
-
-    assert all(
-        a.minimal == b.minimal and a.total_outlying == b.total_outlying
-        for a, b in zip(sequential, batch.results)
-    ), "batched answers diverged from the sequential loop"
-
-    return {
-        "n": n,
-        "d": d,
-        "m": m,
-        "seq_qps": m / sequential_s,
-        "batch_qps": batch.queries_per_second,
-        "speedup": sequential_s / batch.wall_time_s,
-        "workers_qps": m / workers_s,
-        "cache_hits": batch.shared_cache_hits,
-        "knn_evals": batch.knn_evaluations,
-    }
+from repro.bench.perf import E12_SPEC
+from repro.bench.script import run_script
+from repro.bench.workloads import small_batch_setup
 
 
 # ----------------------------------------------------------------------
 # pytest-benchmark twins (small fixed batch, regression tracking)
 # ----------------------------------------------------------------------
-def _small_setup():
-    workload = planted_workload(n=600, d=8, seed_offset=12)
-    miner = standard_miner(workload, threshold_quantile=0.9)
-    targets = make_traffic(workload, 64)
-    return miner, targets
-
-
 def test_benchmark_sequential_loop(benchmark):
     """Time 64 traffic-shaped queries through the sequential path."""
-    miner, targets = _small_setup()
+    miner, targets = small_batch_setup()
     results = benchmark(lambda: [miner.query(target) for target in targets])
     assert len(results) == 64
 
@@ -126,7 +40,7 @@ def test_benchmark_query_batch(benchmark):
     The per-fit cache is invalidated before every round so repeated
     benchmark rounds measure a cold batch, not replays of the first.
     """
-    miner, targets = _small_setup()
+    miner, targets = small_batch_setup()
 
     def run():
         miner.od_cache_.invalidate()
@@ -138,34 +52,7 @@ def test_benchmark_query_batch(benchmark):
 
 # ----------------------------------------------------------------------
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--fast", action="store_true", help="reduced grid for CI smoke jobs"
-    )
-    args = parser.parse_args()
-
-    if args.fast:
-        grid = [(1000, 10, 64)]
-    else:
-        grid = [(1000, 10, 64), (2000, 10, 128), (5000, 12, 256)]
-
-    header = (
-        f"{'n':>6} {'d':>3} {'m':>5} {'seq q/s':>9} {'batch q/s':>10} "
-        f"{'speedup':>8} {'mp q/s':>9} {'cache hits':>10} {'knn evals':>10}"
-    )
-    print("E12 — batched multi-query throughput (linear backend)")
-    print(header)
-    print("-" * len(header))
-    for n, d, m in grid:
-        row = run_comparison(n, d, m)
-        print(
-            f"{row['n']:>6} {row['d']:>3} {row['m']:>5} {row['seq_qps']:>9.1f} "
-            f"{row['batch_qps']:>10.1f} {row['speedup']:>7.2f}x {row['workers_qps']:>9.1f} "
-            f"{row['cache_hits']:>10} {row['knn_evals']:>10}"
-        )
-    print(
-        "\nIdentical answers verified against the sequential loop for every row."
-    )
+    run_script(E12_SPEC, default_tier="full")
 
 
 if __name__ == "__main__":

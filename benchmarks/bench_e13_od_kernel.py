@@ -10,125 +10,28 @@ one axis-wise top-k partition. A third column times the mask-major
 *fused* kernel (``knn_distance_sums_batch``) that stacks several
 queries' component matrices into one GEMM, normalised per query.
 
-``python benchmarks/bench_e13_od_kernel.py`` prints the full sweep over
-dimensionality and level width; ``--fast`` runs a reduced grid for CI
-smoke jobs; ``--save [PATH]`` writes the rows (plus environment info)
-to a ``BENCH_e13.json`` artifact so the perf trajectory is tracked
-across commits. The pytest-benchmark twins time one representative cell
-of each kernel for regression tracking.
+The measurement lives in :data:`repro.bench.perf.E13_SPEC`; this script
+is its classic entry point. ``python benchmarks/bench_e13_od_kernel.py``
+prints the full sweep over dimensionality and level width; ``--fast``
+runs the CI smoke grid; ``--save [PATH]`` writes the canonical
+``BENCH_e13.json`` snapshot (the committed baseline the CI regression
+gate compares against — see docs/benchmarking.md). The pytest-benchmark
+twins time one representative cell of each kernel.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import time
-from pathlib import Path
-
-import numpy as np
-
-from repro.index.linear import LinearScanIndex
-
-#: Matches the seed convention of the E-series workloads.
-SEED = 20040830 + 13
-
-
-def make_masks(rng: np.random.Generator, d: int, width: int) -> list[np.ndarray]:
-    """A level-ish batch of *width* random subspace masks over ``d`` dims.
-
-    Real rounds mix levels (different searches expand different levels),
-    so widths beyond one level's worth draw masks of every size — the
-    kernel's cost depends on ``(n, d, width)``, not on which masks.
-    """
-    masks = []
-    for _ in range(width):
-        size = int(rng.integers(1, d + 1))
-        masks.append(np.sort(rng.choice(d, size=size, replace=False)).astype(np.intp))
-    return masks
-
-
-def time_kernel(fn, reps: int) -> float:
-    fn()  # warm-up (BLAS thread pools, allocator)
-    start = time.perf_counter()
-    for _ in range(reps):
-        fn()
-    return (time.perf_counter() - start) / reps
-
-
-def run_cell(n: int, d: int, width: int, k: int = 5, reps: int = 7) -> dict:
-    rng = np.random.default_rng(SEED)
-    X = rng.normal(size=(n, d))
-    query = rng.normal(size=d)
-    backend = LinearScanIndex(X)
-    masks = make_masks(rng, d, width)
-    components = backend.distance_components(query)
-
-    exact_s = time_kernel(
-        lambda: backend.knn_distance_sums(
-            query, k, masks, components=components, kernel="exact"
-        ),
-        reps,
-    )
-    gemm_s = time_kernel(
-        lambda: backend.knn_distance_sums(
-            query, k, masks, components=components, kernel="gemm"
-        ),
-        reps,
-    )
-
-    # Mask-major fusion: 4 queries stacked into one C_batch GEMM,
-    # reported per query for comparability with the single-query cells.
-    queries = rng.normal(size=(4, d))
-    components_list = [backend.distance_components(q) for q in queries]
-    fused_s = (
-        time_kernel(
-            lambda: backend.knn_distance_sums_batch(
-                queries, k, masks, components_list=components_list, kernel="gemm"
-            ),
-            reps,
-        )
-        / queries.shape[0]
-    )
-
-    exact = backend.knn_distance_sums(
-        query, k, masks, components=components, kernel="exact"
-    )
-    gemm = backend.knn_distance_sums(
-        query, k, masks, components=components, kernel="gemm"
-    )
-    max_rel_err = float(np.max(np.abs(gemm - exact) / np.maximum(np.abs(exact), 1e-300)))
-
-    return {
-        "n": n,
-        "d": d,
-        "width": width,
-        "k": k,
-        "exact_ms": exact_s * 1e3,
-        "gemm_ms": gemm_s * 1e3,
-        "fused_ms_per_query": fused_s * 1e3,
-        "speedup": exact_s / gemm_s,
-        "fused_speedup": exact_s / fused_s,
-        "max_rel_err": max_rel_err,
-    }
+from repro.bench.perf import E13_SPEC
+from repro.bench.script import run_script
+from repro.bench.workloads import kernel_cell_setup
 
 
 # ----------------------------------------------------------------------
 # pytest-benchmark twins (one representative cell, regression tracking)
 # ----------------------------------------------------------------------
-def _twin_setup():
-    rng = np.random.default_rng(SEED)
-    X = rng.normal(size=(2000, 12))
-    query = rng.normal(size=12)
-    backend = LinearScanIndex(X)
-    masks = make_masks(rng, 12, 64)
-    components = backend.distance_components(query)
-    return backend, query, masks, components
-
-
 def test_benchmark_od_kernel_exact(benchmark):
     """Time 64 subspace OD sums through the exact gather loop."""
-    backend, query, masks, components = _twin_setup()
+    backend, query, masks, components = kernel_cell_setup()
     result = benchmark(
         lambda: backend.knn_distance_sums(
             query, 5, masks, components=components, kernel="exact"
@@ -139,7 +42,7 @@ def test_benchmark_od_kernel_exact(benchmark):
 
 def test_benchmark_od_kernel_gemm(benchmark):
     """Time the same 64 sums through the level-wide GEMM kernel."""
-    backend, query, masks, components = _twin_setup()
+    backend, query, masks, components = kernel_cell_setup()
     result = benchmark(
         lambda: backend.knn_distance_sums(
             query, 5, masks, components=components, kernel="gemm"
@@ -150,61 +53,7 @@ def test_benchmark_od_kernel_gemm(benchmark):
 
 # ----------------------------------------------------------------------
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--fast", action="store_true", help="reduced grid for CI smoke jobs"
-    )
-    parser.add_argument(
-        "--save",
-        nargs="?",
-        const="results/BENCH_e13.json",
-        default=None,
-        metavar="PATH",
-        help="write the result rows to a JSON artifact "
-        "(default path results/BENCH_e13.json)",
-    )
-    args = parser.parse_args()
-
-    if args.fast:
-        grid = [(2000, d, w) for d in (8, 12) for w in (16, 64)]
-    else:
-        grid = [(4000, d, w) for d in (8, 12, 16, 20) for w in (16, 64, 256)]
-
-    header = (
-        f"{'n':>6} {'d':>3} {'width':>6} {'exact ms':>9} {'gemm ms':>8} "
-        f"{'speedup':>8} {'fused ms/q':>11} {'fused x':>8} {'max rel err':>12}"
-    )
-    print("E13 — level-wide GEMM OD kernel vs exact per-mask loop (linear backend)")
-    print(header)
-    print("-" * len(header))
-    rows = []
-    for n, d, width in grid:
-        row = run_cell(n, d, width)
-        rows.append(row)
-        print(
-            f"{row['n']:>6} {row['d']:>3} {row['width']:>6} {row['exact_ms']:>9.2f} "
-            f"{row['gemm_ms']:>8.2f} {row['speedup']:>7.2f}x "
-            f"{row['fused_ms_per_query']:>11.2f} {row['fused_speedup']:>7.2f}x "
-            f"{row['max_rel_err']:>12.1e}"
-        )
-    print(
-        "\nGEMM values agree with the exact kernel within rtol 1e-9 on every "
-        "cell; pruning decisions are re-verified exactly by the search layer."
-    )
-
-    if args.save:
-        path = Path(args.save)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        artifact = {
-            "experiment": "e13_od_kernel",
-            "fast": args.fast,
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "rows": rows,
-        }
-        path.write_text(json.dumps(artifact, indent=2))
-        print(f"saved {path}")
+    run_script(E13_SPEC, default_tier="full")
 
 
 if __name__ == "__main__":

@@ -8,10 +8,9 @@ benchmarks/bench_e1_scalability_n.py [--full]`` regenerates the E1 table
 
 from __future__ import annotations
 
-import sys
-
 from repro.baselines.naive_search import exhaustive_search
-from repro.bench.experiments import e1_scalability_n
+from repro.bench.experiments import E1_SPEC
+from repro.bench.script import run_script
 from repro.core.od import ODEvaluator
 
 
@@ -47,9 +46,7 @@ def test_benchmark_exhaustive_query(benchmark, miner_d10, workload_d10):
 
 
 def main() -> None:
-    experiment = e1_scalability_n(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E1_SPEC)
 
 
 if __name__ == "__main__":

@@ -7,9 +7,8 @@ regenerates the E2 table (full grid: d up to 14).
 
 from __future__ import annotations
 
-import sys
-
-from repro.bench.experiments import e2_scalability_d
+from repro.bench.experiments import E2_SPEC
+from repro.bench.script import run_script
 from repro.core.lattice import SubspaceLattice
 
 
@@ -42,9 +41,7 @@ def test_benchmark_downward_prune_cascade_d12(benchmark):
 
 
 def main() -> None:
-    experiment = e2_scalability_d(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E2_SPEC)
 
 
 if __name__ == "__main__":

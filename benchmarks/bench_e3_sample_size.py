@@ -7,9 +7,8 @@ E3 table (full grid: S up to 40).
 
 from __future__ import annotations
 
-import sys
-
-from repro.bench.experiments import e3_sample_size
+from repro.bench.experiments import E3_SPEC
+from repro.bench.script import run_script
 from repro.core.learning import learn_priors
 
 
@@ -27,9 +26,7 @@ def test_benchmark_learning_pass(benchmark, miner_d10, workload_d10):
 
 
 def main() -> None:
-    experiment = e3_sample_size(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E3_SPEC)
 
 
 if __name__ == "__main__":

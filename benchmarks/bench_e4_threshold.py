@@ -7,9 +7,8 @@ table (full grid: five quantiles).
 
 from __future__ import annotations
 
-import sys
-
-from repro.bench.experiments import e4_threshold
+from repro.bench.experiments import E4_SPEC
+from repro.bench.script import run_script
 from repro.core.miner import calibrate_threshold
 
 
@@ -26,9 +25,7 @@ def test_benchmark_threshold_calibration(benchmark, miner_d10, workload_d10):
 
 
 def main() -> None:
-    experiment = e4_threshold(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E4_SPEC)
 
 
 if __name__ == "__main__":

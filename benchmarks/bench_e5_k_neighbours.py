@@ -7,11 +7,10 @@ benchmarks/bench_e5_k_neighbours.py [--full]`` regenerates the E5 table
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
-from repro.bench.experiments import e5_k_neighbours
+from repro.bench.experiments import E5_SPEC
+from repro.bench.script import run_script
 from repro.core.od import outlying_degree
 
 
@@ -26,9 +25,7 @@ def test_benchmark_od_kernel_vs_k(benchmark, miner_d10, workload_d10, k):
 
 
 def main() -> None:
-    experiment = e5_k_neighbours(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E5_SPEC)
 
 
 if __name__ == "__main__":

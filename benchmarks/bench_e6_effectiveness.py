@@ -7,11 +7,10 @@ oracle + recovery metrics); ``python benchmarks/bench_e6_effectiveness.py
 
 from __future__ import annotations
 
-import sys
-
 from repro.baselines.naive_search import exhaustive_search
-from repro.bench.experiments import e6_effectiveness
+from repro.bench.experiments import E6_SPEC
 from repro.bench.measures import planted_recovery
+from repro.bench.script import run_script
 from repro.core.filtering import minimal_masks
 from repro.core.od import ODEvaluator
 from repro.core.subspace import Subspace
@@ -34,9 +33,7 @@ def test_benchmark_oracle_scoring(benchmark, miner_d10, workload_d10):
 
 
 def main() -> None:
-    experiment = e6_effectiveness(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E6_SPEC)
 
 
 if __name__ == "__main__":

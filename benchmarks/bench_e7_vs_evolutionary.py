@@ -7,14 +7,13 @@ one HOS-Miner query; ``python benchmarks/bench_e7_vs_evolutionary.py
 
 from __future__ import annotations
 
-import sys
-
 import numpy as np
 import pytest
 
 from repro.baselines.evolutionary import EvolutionarySubspaceSearch
 from repro.baselines.grid import EquiDepthGrid
-from repro.bench.experiments import e7_vs_evolutionary
+from repro.bench.experiments import E7_SPEC
+from repro.bench.script import run_script
 
 
 @pytest.fixture(scope="module")
@@ -45,9 +44,7 @@ def test_benchmark_grid_build(benchmark, workload_d10):
 
 
 def main() -> None:
-    experiment = e7_vs_evolutionary(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E7_SPEC)
 
 
 if __name__ == "__main__":

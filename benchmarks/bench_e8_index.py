@@ -7,11 +7,10 @@ the X-tree's uniform high-d regime); ``python benchmarks/bench_e8_index.py
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
-from repro.bench.experiments import e8_index
+from repro.bench.experiments import E8_SPEC
+from repro.bench.script import run_script
 from repro.index import LinearScanIndex, RStarTree, XTree
 
 
@@ -43,9 +42,7 @@ def test_benchmark_xtree_build_uniform16(benchmark, uniform_16d):
 
 
 def main() -> None:
-    experiment = e8_index(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E8_SPEC)
 
 
 if __name__ == "__main__":

@@ -7,11 +7,10 @@ E9 table.
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
-from repro.bench.experiments import e9_filter
+from repro.bench.experiments import E9_SPEC
+from repro.bench.script import run_script
 from repro.core.filtering import expand_upward, minimal_masks
 
 
@@ -37,9 +36,7 @@ def test_benchmark_expand_upward(benchmark, upward_closed_answer):
 
 
 def main() -> None:
-    experiment = e9_filter(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(E9_SPEC)
 
 
 if __name__ == "__main__":

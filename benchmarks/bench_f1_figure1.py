@@ -7,11 +7,10 @@ table.
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
-from repro.bench.experiments import f1_figure1
+from repro.bench.experiments import F1_SPEC
+from repro.bench.script import run_script
 from repro.core.od import ODEvaluator
 from repro.data.synthetic import make_figure1_data
 from repro.index.linear import LinearScanIndex
@@ -39,9 +38,7 @@ def test_benchmark_single_view_od(benchmark, figure1_evaluator):
 
 
 def main() -> None:
-    experiment = f1_figure1(fast="--full" not in sys.argv)
-    experiment.print()
-    experiment.save()
+    run_script(F1_SPEC)
 
 
 if __name__ == "__main__":

@@ -2,36 +2,37 @@
 
 Workloads are session-scoped so `pytest benchmarks/ --benchmark-only`
 pays dataset construction and miner fitting once, and the timed bodies
-measure only the operation under study.
+measure only the operation under study. The construction itself lives
+in :mod:`repro.bench.workloads` — the single source of truth shared
+with the experiment specs.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench.workloads import planted_workload, standard_miner
+from repro.bench import workloads
 
 
 @pytest.fixture(scope="session")
 def workload_d10():
     """The standard E-series workload: n=1000, d=10, planted outliers."""
-    return planted_workload(n=1000, d=10, seed_offset=0)
+    return workloads.standard_workload_d10()
 
 
 @pytest.fixture(scope="session")
 def miner_d10(workload_d10):
     """Paper-faithful miner (learned priors) fitted on workload_d10."""
-    return standard_miner(workload_d10)
+    return workloads.standard_miner(workload_d10)
 
 
 @pytest.fixture(scope="session")
 def adaptive_miner_d10(workload_d10):
     """Adaptive-prior variant fitted on the same workload."""
-    return standard_miner(workload_d10, adaptive=True)
+    return workloads.standard_miner(workload_d10, adaptive=True)
 
 
 @pytest.fixture(scope="session")
 def uniform_16d():
     """Uniform high-d data — the X-tree supernode regime."""
-    return np.random.default_rng(8).uniform(size=(2000, 16))
+    return workloads.uniform_16d()

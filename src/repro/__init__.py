@@ -5,7 +5,7 @@ Subspaces of High-dimensional Data* (Zhang, Lou, Ling, Wang — VLDB
 2004), including the X-tree indexing substrate, the Aggarwal–Yu
 evolutionary comparator, classic full-space outlier detectors, data
 generators, and the experiment harness. See README.md for a tour and
-DESIGN.md for the system inventory.
+docs/architecture.md for the system inventory.
 
 Quickstart::
 

@@ -1,14 +1,22 @@
-"""The experiment suite — one function per DESIGN.md index entry.
+"""The experiment suite — one declarative spec per experiment.
 
-Every function returns a filled :class:`~repro.bench.harness.Experiment`.
-``fast=True`` (the default, used by the pytest-benchmark wrappers)
-shrinks parameter grids to finish in seconds; ``fast=False`` runs the
-full grids recorded in EXPERIMENTS.md. Tables never change shape
-between the two — only the number of rows.
+Every experiment is an :class:`~repro.bench.spec.ExperimentSpec`: a grid
+of independent variables crossed into conditions, an optional shared
+setup (workloads the original scripts built once and swept a knob over),
+and a measurement function returning one table row (or several) per
+condition. :func:`~repro.bench.runner.run_spec` executes specs — from
+the ``benchmarks/`` scripts, the ``bench``/``experiment`` CLI
+subcommands, and CI alike — so measured numbers are identical regardless
+of entry point and serialize to the canonical ``BENCH_*.json`` schema
+(``docs/benchmarking.md`` documents both).
 
-The functions are deliberately self-contained: each builds its own
-workload through :mod:`repro.bench.workloads` so that running a single
-experiment from the CLI reproduces exactly the published row values.
+The classic ``<id>(fast=True) -> Experiment`` functions remain as thin
+shims over their specs; ``fast=True`` maps to the ``smoke`` tier (CI
+grids, seconds), ``fast=False`` to ``full`` (published grids). Tables
+never change shape between tiers — only the number of rows.
+
+End-to-end perf specs (e12/e13) live in :mod:`repro.bench.perf`; the
+merged registry is :data:`repro.bench.ALL_SPECS`.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from repro.baselines.evolutionary import EvolutionaryConfig, EvolutionarySubspac
 from repro.baselines.naive_search import exhaustive_search, fixed_order_search
 from repro.bench.harness import Experiment, timed
 from repro.bench.measures import planted_recovery, set_scores
+from repro.bench.runner import run_spec
+from repro.bench.spec import ExperimentSpec
 from repro.bench.workloads import SEED, Workload, planted_workload, standard_miner
 from repro.core.filtering import minimal_masks
 from repro.core.miner import HOSMiner
@@ -47,7 +57,12 @@ __all__ = [
     "e10_ablation",
     "e11_xtree_overlap",
     "ALL_EXPERIMENTS",
+    "SPECS",
 ]
+
+
+def _tier(fast: bool) -> str:
+    return "smoke" if fast else "full"
 
 
 # ----------------------------------------------------------------------
@@ -103,490 +118,561 @@ def _exhaustive_cost(miner: HOSMiner, rows: list[int]) -> tuple[float, float]:
 # ----------------------------------------------------------------------
 # F1 — the Figure 1 scenario
 # ----------------------------------------------------------------------
-def f1_figure1(fast: bool = True) -> Experiment:
-    """Reproduce Figure 1: one point, three 2-d views, one outlying view."""
-    experiment = Experiment(
-        experiment_id="F1",
-        title="Figure 1 — outlying degree of p across three 2-d views",
-        columns=["view", "od_p", "threshold", "outlying"],
-        expectation="p is an outlier only in view [1,2]; other views are ordinary",
-    )
-    dataset = make_figure1_data(n=400 if fast else 2000, seed=SEED)
+def _f1_setup(tier: str) -> dict:
+    n = 400 if tier == "smoke" else 2000
+    dataset = make_figure1_data(n=n, seed=SEED)
     miner = HOSMiner(k=5, sample_size=5, threshold_quantile=0.99).fit(dataset.X)
     evaluator = ODEvaluator(miner.backend_, dataset.X[0], miner.config.k, exclude=0)
-    for dims in [(0, 1), (2, 3), (4, 5)]:
-        subspace = Subspace.from_dims(dims, dataset.d)
-        od_value = evaluator.od(subspace.mask)
-        experiment.add_row(
-            view=subspace.notation(),
-            od_p=od_value,
-            threshold=miner.threshold_,
-            outlying=od_value >= miner.threshold_,
-        )
     result = miner.query_row(0)
-    experiment.note(
+    note = (
         "HOS-Miner minimal outlying subspaces of p: "
         + (", ".join(s.notation() for s in result.minimal) or "(none)")
     )
-    return experiment
+    return {"dataset": dataset, "miner": miner, "evaluator": evaluator, "note": note}
+
+
+def _f1_run(ctx: dict, view: tuple, n: int) -> dict:
+    subspace = Subspace.from_dims(tuple(view), ctx["dataset"].d)
+    od_value = ctx["evaluator"].od(subspace.mask)
+    threshold = ctx["miner"].threshold_
+    return {
+        "view": subspace.notation(),
+        "od_p": od_value,
+        "threshold": threshold,
+        "outlying": od_value >= threshold,
+        "_note": ctx["note"],
+    }
+
+
+F1_SPEC = ExperimentSpec(
+    name="f1",
+    title="Figure 1 — outlying degree of p across three 2-d views",
+    grid={"view": ((0, 1), (2, 3), (4, 5)), "n": (2000,)},
+    smoke={"n": (400,)},
+    setup=_f1_setup,
+    run=_f1_run,
+    columns=["view", "od_p", "threshold", "outlying"],
+    expectation="p is an outlier only in view [1,2]; other views are ordinary",
+)
+
+
+def f1_figure1(fast: bool = True) -> Experiment:
+    """Reproduce Figure 1: one point, three 2-d views, one outlying view."""
+    return run_spec(F1_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E0 — Definitions 1–2 worked examples (the paper's only numeric table)
 # ----------------------------------------------------------------------
+def _e0_run(ctx, m: int) -> dict:
+    return {
+        "m": m,
+        "DSF(m)": downward_saving_factor(m),
+        "USF(m,4)": upward_saving_factor(m, 4),
+    }
+
+
+E0_SPEC = ExperimentSpec(
+    name="e0",
+    title="Saving factors in a d=4 space (Definitions 1-2)",
+    grid={"m": (1, 2, 3, 4)},
+    run=_e0_run,
+    columns=["m", "DSF(m)", "USF(m,4)"],
+    expectation="DSF(3)=9 and USF(2,4)=10 as computed in Section 3.1",
+)
+
+
 def e0_savings(fast: bool = True) -> Experiment:
     """DSF / USF across levels of a d=4 space, pinning the paper's numbers."""
-    experiment = Experiment(
-        experiment_id="E0",
-        title="Saving factors in a d=4 space (Definitions 1-2)",
-        columns=["m", "DSF(m)", "USF(m,4)"],
-        expectation="DSF(3)=9 and USF(2,4)=10 as computed in Section 3.1",
-    )
-    for m in range(1, 5):
-        experiment.add_row(
-            **{
-                "m": m,
-                "DSF(m)": downward_saving_factor(m),
-                "USF(m,4)": upward_saving_factor(m, 4),
-            }
-        )
-    return experiment
+    return run_spec(E0_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E1 / E2 — efficiency scalability
 # ----------------------------------------------------------------------
-def e1_scalability_n(fast: bool = True) -> Experiment:
-    """HOS-Miner vs exhaustive search as the dataset grows."""
-    experiment = Experiment(
-        experiment_id="E1",
-        title="Efficiency vs dataset size n (d=10, k=5)",
-        columns=[
-            "n",
-            "exh_evals",
-            "hos_evals",
-            "adapt_evals",
-            "exh_ms",
-            "hos_ms",
-            "adapt_ms",
-            "speedup",
-        ],
-        expectation=(
-            "HOS-Miner evaluates a small fraction of the 1023 subspaces at "
-            "every n; the adaptive-prior extension removes the residual "
-            "top-down cost on outlier queries; wall-time speedup grows "
-            "with n because each saved evaluation costs a full kNN scan"
-        ),
-    )
-    sizes = [500, 1000, 2000] if fast else [500, 1000, 2000, 4000, 8000]
-    for n in sizes:
-        workload = planted_workload(n=n, d=10, seed_offset=n)
-        miner = standard_miner(workload)
-        adaptive_miner = standard_miner(workload, adaptive=True)
-        hos_evals, hos_s = _avg_query_cost(miner, workload.query_rows)
-        adapt_evals, adapt_s = _avg_query_cost(adaptive_miner, workload.query_rows)
-        exh_evals, exh_s = _exhaustive_cost(miner, workload.query_rows)
-        experiment.add_row(
-            n=n,
-            exh_evals=exh_evals,
-            hos_evals=hos_evals,
-            adapt_evals=adapt_evals,
-            exh_ms=exh_s * 1e3,
-            hos_ms=hos_s * 1e3,
-            adapt_ms=adapt_s * 1e3,
-            speedup=exh_s / adapt_s if adapt_s > 0 else float("inf"),
-        )
-    experiment.note(
+def _e1_run(ctx, n: int) -> dict:
+    workload = planted_workload(n=n, d=10, seed_offset=n)
+    miner = standard_miner(workload)
+    adaptive_miner = standard_miner(workload, adaptive=True)
+    hos_evals, hos_s = _avg_query_cost(miner, workload.query_rows)
+    adapt_evals, adapt_s = _avg_query_cost(adaptive_miner, workload.query_rows)
+    exh_evals, exh_s = _exhaustive_cost(miner, workload.query_rows)
+    return {
+        "n": n,
+        "exh_evals": exh_evals,
+        "hos_evals": hos_evals,
+        "adapt_evals": adapt_evals,
+        "exh_ms": exh_s * 1e3,
+        "hos_ms": hos_s * 1e3,
+        "adapt_ms": adapt_s * 1e3,
+        "speedup": exh_s / adapt_s if adapt_s > 0 else float("inf"),
+    }
+
+
+E1_SPEC = ExperimentSpec(
+    name="e1",
+    title="Efficiency vs dataset size n (d=10, k=5)",
+    grid={"n": (500, 1000, 2000, 4000, 8000)},
+    smoke={"n": (500, 1000, 2000)},
+    run=_e1_run,
+    columns=[
+        "n",
+        "exh_evals",
+        "hos_evals",
+        "adapt_evals",
+        "exh_ms",
+        "hos_ms",
+        "adapt_ms",
+        "speedup",
+    ],
+    expectation=(
+        "HOS-Miner evaluates a small fraction of the 1023 subspaces at "
+        "every n; the adaptive-prior extension removes the residual "
+        "top-down cost on outlier queries; wall-time speedup grows "
+        "with n because each saved evaluation costs a full kNN scan"
+    ),
+    notes=[
         "hos = paper-faithful (learned average priors); adapt = adaptive-"
         "prior extension; speedup = exh_ms / adapt_ms"
-    )
-    return experiment
+    ],
+)
+
+
+def e1_scalability_n(fast: bool = True) -> Experiment:
+    """HOS-Miner vs exhaustive search as the dataset grows."""
+    return run_spec(E1_SPEC, tier=_tier(fast)).to_experiment()
+
+
+def _e2_run(ctx, d: int, n: int) -> dict:
+    workload = planted_workload(n=n, d=d, seed_offset=d)
+    miner = standard_miner(workload)
+    adaptive_miner = standard_miner(workload, adaptive=True)
+    hos_evals, _ = _avg_query_cost(miner, workload.query_rows)
+    adapt_evals, adapt_s = _avg_query_cost(adaptive_miner, workload.query_rows)
+    exh_evals, exh_s = _exhaustive_cost(miner, workload.query_rows)
+    return {
+        "d": d,
+        "lattice": (1 << d) - 1,
+        "exh_evals": exh_evals,
+        "hos_evals": hos_evals,
+        "adapt_evals": adapt_evals,
+        "adapt_fraction": adapt_evals / exh_evals,
+        "exh_ms": exh_s * 1e3,
+        "adapt_ms": adapt_s * 1e3,
+    }
+
+
+E2_SPEC = ExperimentSpec(
+    name="e2",
+    title="Efficiency vs dimensionality d (n=2000, k=5)",
+    grid={"d": (6, 8, 10, 12, 14), "n": (2000,)},
+    smoke={"d": (6, 8, 10), "n": (1000,)},
+    run=_e2_run,
+    columns=[
+        "d",
+        "lattice",
+        "exh_evals",
+        "hos_evals",
+        "adapt_evals",
+        "adapt_fraction",
+        "exh_ms",
+        "adapt_ms",
+    ],
+    expectation=(
+        "exhaustive cost doubles per added dimension (2^d - 1); "
+        "HOS-Miner's evaluated fraction shrinks as d grows"
+    ),
+)
 
 
 def e2_scalability_d(fast: bool = True) -> Experiment:
     """HOS-Miner vs exhaustive search as dimensionality grows."""
-    experiment = Experiment(
-        experiment_id="E2",
-        title="Efficiency vs dimensionality d (n=2000, k=5)",
-        columns=[
-            "d",
-            "lattice",
-            "exh_evals",
-            "hos_evals",
-            "adapt_evals",
-            "adapt_fraction",
-            "exh_ms",
-            "adapt_ms",
-        ],
-        expectation=(
-            "exhaustive cost doubles per added dimension (2^d - 1); "
-            "HOS-Miner's evaluated fraction shrinks as d grows"
-        ),
-    )
-    dims = [6, 8, 10] if fast else [6, 8, 10, 12, 14]
-    for d in dims:
-        workload = planted_workload(n=2000 if not fast else 1000, d=d, seed_offset=d)
-        miner = standard_miner(workload)
-        adaptive_miner = standard_miner(workload, adaptive=True)
-        hos_evals, _ = _avg_query_cost(miner, workload.query_rows)
-        adapt_evals, adapt_s = _avg_query_cost(adaptive_miner, workload.query_rows)
-        exh_evals, exh_s = _exhaustive_cost(miner, workload.query_rows)
-        experiment.add_row(
-            d=d,
-            lattice=(1 << d) - 1,
-            exh_evals=exh_evals,
-            hos_evals=hos_evals,
-            adapt_evals=adapt_evals,
-            adapt_fraction=adapt_evals / exh_evals,
-            exh_ms=exh_s * 1e3,
-            adapt_ms=adapt_s * 1e3,
-        )
-    return experiment
+    return run_spec(E2_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E3 / E4 / E5 — parameter sensitivity
 # ----------------------------------------------------------------------
+def _e3_setup(tier: str) -> Workload:
+    return planted_workload(n=1000, d=10, seed_offset=3)
+
+
+def _e3_run(workload: Workload, S: int) -> dict:
+    miner = standard_miner(workload, sample_size=S)
+    adaptive_miner = standard_miner(workload, sample_size=S, adaptive=True)
+    report = miner.learning_report_
+    out_evals, in_evals, _ = _split_query_cost(miner, workload)
+    adapt_out, adapt_in, _ = _split_query_cost(adaptive_miner, workload)
+    return {
+        "S": S,
+        "learn_evals": report.total_od_evaluations,
+        "learn_ms": report.wall_time_s * 1e3,
+        "outlier_q_evals": out_evals,
+        "inlier_q_evals": in_evals,
+        "adapt_outlier_q": adapt_out,
+        "adapt_inlier_q": adapt_in,
+    }
+
+
+E3_SPEC = ExperimentSpec(
+    name="e3",
+    title="Effect of learning sample size S (n=1000, d=10, k=5)",
+    grid={"S": (0, 2, 5, 10, 20, 40)},
+    smoke={"S": (0, 2, 5, 10)},
+    setup=_e3_setup,
+    run=_e3_run,
+    columns=[
+        "S",
+        "learn_evals",
+        "learn_ms",
+        "outlier_q_evals",
+        "inlier_q_evals",
+        "adapt_outlier_q",
+        "adapt_inlier_q",
+    ],
+    expectation=(
+        "learned priors make inlier queries nearly free (the sample is "
+        "inlier-dominated) but steer outlier queries top-down into "
+        "their huge upward-closed answer sets; the adaptive extension "
+        "keeps the inlier win and repairs the outlier cost. Learning "
+        "cost itself grows linearly in S and a small S suffices — the "
+        "paper's 'small number of points' claim"
+    ),
+)
+
+
 def e3_sample_size(fast: bool = True) -> Experiment:
     """Learning sample size S vs learning cost and query cost."""
-    experiment = Experiment(
-        experiment_id="E3",
-        title="Effect of learning sample size S (n=1000, d=10, k=5)",
-        columns=[
-            "S",
-            "learn_evals",
-            "learn_ms",
-            "outlier_q_evals",
-            "inlier_q_evals",
-            "adapt_outlier_q",
-            "adapt_inlier_q",
-        ],
-        expectation=(
-            "learned priors make inlier queries nearly free (the sample is "
-            "inlier-dominated) but steer outlier queries top-down into "
-            "their huge upward-closed answer sets; the adaptive extension "
-            "keeps the inlier win and repairs the outlier cost. Learning "
-            "cost itself grows linearly in S and a small S suffices — the "
-            "paper's 'small number of points' claim"
-        ),
-    )
-    sample_sizes = [0, 2, 5, 10] if fast else [0, 2, 5, 10, 20, 40]
-    workload = planted_workload(n=1000, d=10, seed_offset=3)
-    for sample_size in sample_sizes:
-        miner = standard_miner(workload, sample_size=sample_size)
-        adaptive_miner = standard_miner(workload, sample_size=sample_size, adaptive=True)
-        report = miner.learning_report_
-        out_evals, in_evals, _ = _split_query_cost(miner, workload)
-        adapt_out, adapt_in, _ = _split_query_cost(adaptive_miner, workload)
-        experiment.add_row(
-            S=sample_size,
-            learn_evals=report.total_od_evaluations,
-            learn_ms=report.wall_time_s * 1e3,
-            outlier_q_evals=out_evals,
-            inlier_q_evals=in_evals,
-            adapt_outlier_q=adapt_out,
-            adapt_inlier_q=adapt_in,
-        )
-    return experiment
+    return run_spec(E3_SPEC, tier=_tier(fast)).to_experiment()
+
+
+def _e4_setup(tier: str) -> Workload:
+    return planted_workload(n=1000, d=10, seed_offset=4)
+
+
+def _e4_run(workload: Workload, T_quantile: float) -> dict:
+    miner = standard_miner(workload, threshold_quantile=T_quantile)
+    evaluations, outlying, minimal = [], [], []
+    flagged_planted = flagged_inliers = 0
+    for row in workload.query_rows:
+        result = miner.query_row(row)
+        evaluations.append(result.stats.od_evaluations)
+        outlying.append(result.total_outlying)
+        minimal.append(len(result.minimal))
+        if result.is_outlier:
+            if row in workload.dataset.outlier_rows:
+                flagged_planted += 1
+            else:
+                flagged_inliers += 1
+    return {
+        "T_quantile": T_quantile,
+        "T": miner.threshold_,
+        "query_evals": float(np.mean(evaluations)),
+        "outlying_mean": float(np.mean(outlying)),
+        "minimal_mean": float(np.mean(minimal)),
+        "flagged_planted": f"{flagged_planted}/{len(workload.planted_queries)}",
+        "flagged_inliers": f"{flagged_inliers}/{len(workload.inlier_queries)}",
+    }
+
+
+E4_SPEC = ExperimentSpec(
+    name="e4",
+    title="Effect of threshold T (n=1000, d=10, k=5)",
+    grid={"T_quantile": (0.80, 0.90, 0.95, 0.99, 0.999)},
+    smoke={"T_quantile": (0.80, 0.95, 0.99)},
+    setup=_e4_setup,
+    run=_e4_run,
+    columns=[
+        "T_quantile",
+        "T",
+        "query_evals",
+        "outlying_mean",
+        "minimal_mean",
+        "flagged_planted",
+        "flagged_inliers",
+    ],
+    expectation=(
+        "low T flags everything (upward pruning dominates); high T "
+        "flags only planted points (downward pruning dominates); "
+        "evaluations peak at intermediate T where neither rule fires early"
+    ),
+)
 
 
 def e4_threshold(fast: bool = True) -> Experiment:
     """Distance threshold T vs pruning behaviour and answer size."""
-    experiment = Experiment(
-        experiment_id="E4",
-        title="Effect of threshold T (n=1000, d=10, k=5)",
-        columns=[
-            "T_quantile",
-            "T",
-            "query_evals",
-            "outlying_mean",
-            "minimal_mean",
-            "flagged_planted",
-            "flagged_inliers",
-        ],
-        expectation=(
-            "low T flags everything (upward pruning dominates); high T "
-            "flags only planted points (downward pruning dominates); "
-            "evaluations peak at intermediate T where neither rule fires early"
-        ),
-    )
-    quantiles = [0.80, 0.95, 0.99] if fast else [0.80, 0.90, 0.95, 0.99, 0.999]
-    workload = planted_workload(n=1000, d=10, seed_offset=4)
-    for quantile in quantiles:
-        miner = standard_miner(workload, threshold_quantile=quantile)
-        evaluations, outlying, minimal = [], [], []
-        flagged_planted = flagged_inliers = 0
-        for row in workload.query_rows:
-            result = miner.query_row(row)
-            evaluations.append(result.stats.od_evaluations)
-            outlying.append(result.total_outlying)
-            minimal.append(len(result.minimal))
-            if result.is_outlier:
-                if row in workload.dataset.outlier_rows:
-                    flagged_planted += 1
-                else:
-                    flagged_inliers += 1
-        experiment.add_row(
-            T_quantile=quantile,
-            T=miner.threshold_,
-            query_evals=float(np.mean(evaluations)),
-            outlying_mean=float(np.mean(outlying)),
-            minimal_mean=float(np.mean(minimal)),
-            flagged_planted=f"{flagged_planted}/{len(workload.planted_queries)}",
-            flagged_inliers=f"{flagged_inliers}/{len(workload.inlier_queries)}",
-        )
-    return experiment
+    return run_spec(E4_SPEC, tier=_tier(fast)).to_experiment()
+
+
+def _e5_setup(tier: str) -> Workload:
+    return planted_workload(n=1000, d=10, seed_offset=5)
+
+
+def _e5_run(workload: Workload, k: int) -> dict:
+    miner = standard_miner(workload, k=k)
+    evaluations, seconds, outlying, minimal = [], [], [], []
+    for row in workload.query_rows:
+        result = miner.query_row(row)
+        evaluations.append(result.stats.od_evaluations)
+        seconds.append(result.stats.wall_time_s)
+        outlying.append(result.total_outlying)
+        minimal.append(len(result.minimal))
+    return {
+        "k": k,
+        "T": miner.threshold_,
+        "query_evals": float(np.mean(evaluations)),
+        "query_ms": float(np.mean(seconds)) * 1e3,
+        "outlying_mean": float(np.mean(outlying)),
+        "minimal_mean": float(np.mean(minimal)),
+    }
+
+
+E5_SPEC = ExperimentSpec(
+    name="e5",
+    title="Effect of k (n=1000, d=10)",
+    grid={"k": (3, 5, 10, 15, 20)},
+    smoke={"k": (3, 5, 10)},
+    setup=_e5_setup,
+    run=_e5_run,
+    columns=["k", "T", "query_evals", "query_ms", "outlying_mean", "minimal_mean"],
+    expectation=(
+        "OD scales roughly linearly with k, and so does the calibrated "
+        "T; detection quality is stable across moderate k — the measure "
+        "is robust to its one parameter"
+    ),
+)
 
 
 def e5_k_neighbours(fast: bool = True) -> Experiment:
     """Neighbour count k vs cost and answers (T recalibrated per k)."""
-    experiment = Experiment(
-        experiment_id="E5",
-        title="Effect of k (n=1000, d=10)",
-        columns=["k", "T", "query_evals", "query_ms", "outlying_mean", "minimal_mean"],
-        expectation=(
-            "OD scales roughly linearly with k, and so does the calibrated "
-            "T; detection quality is stable across moderate k — the measure "
-            "is robust to its one parameter"
-        ),
-    )
-    ks = [3, 5, 10] if fast else [3, 5, 10, 15, 20]
-    workload = planted_workload(n=1000, d=10, seed_offset=5)
-    for k in ks:
-        miner = standard_miner(workload, k=k)
-        evaluations, seconds, outlying, minimal = [], [], [], []
-        for row in workload.query_rows:
-            result = miner.query_row(row)
-            evaluations.append(result.stats.od_evaluations)
-            seconds.append(result.stats.wall_time_s)
-            outlying.append(result.total_outlying)
-            minimal.append(len(result.minimal))
-        experiment.add_row(
-            k=k,
-            T=miner.threshold_,
-            query_evals=float(np.mean(evaluations)),
-            query_ms=float(np.mean(seconds)) * 1e3,
-            outlying_mean=float(np.mean(outlying)),
-            minimal_mean=float(np.mean(minimal)),
-        )
-    return experiment
+    return run_spec(E5_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E6 / E7 — head-to-head with the evolutionary method
 # ----------------------------------------------------------------------
-def _fit_evolutionary(workload: Workload, fast: bool) -> EvolutionarySubspaceSearch:
+def _fit_evolutionary(
+    workload: Workload, population: int, generations: int
+) -> EvolutionarySubspaceSearch:
     """The comparator at its empirically best settings for this workload
     family (checked against the brute-force cube oracle): 2-d cubes over
     a coarse grid keep singleton-cell sparsity ties manageable."""
     config = EvolutionaryConfig(
         phi=4,
         target_dims=2,
-        population=40 if fast else 80,
-        generations=25 if fast else 60,
+        population=population,
+        generations=generations,
         best_cubes=30,
         seed=SEED,
     )
     return EvolutionarySubspaceSearch(config).fit(workload.dataset.X)
 
 
-def e6_effectiveness(fast: bool = True) -> Experiment:
-    """Effectiveness: HOS-Miner vs the evolutionary method vs the oracle."""
+#: The two E6 workload families: name -> planted_workload arguments.
+E6_WORKLOADS = {
+    "strong-3d": dict(
+        n=1000, d=8, n_outliers=6, subspace_dims=3, displacement=8.0, seed_offset=6
+    ),
+    "subtle-2d": dict(
+        n=1000, d=8, n_outliers=6, subspace_dims=2, displacement=6.0, seed_offset=66
+    ),
+}
+
+
+def _e6_run(ctx, workload: str, population: int, generations: int) -> dict:
     d = 8
-    experiment = Experiment(
-        experiment_id="E6",
-        title=f"Effectiveness on planted outliers (n=1000, d={d})",
-        columns=[
-            "workload",
-            "method",
-            "flagged",
-            "exact",
-            "contained",
-            "covered",
-            "jaccard",
-            "prec_vs_oracle",
-            "rec_vs_oracle",
-            "points_flagged",
-        ],
-        expectation=(
-            "HOS-Miner matches the oracle exactly (lossless pruning) on "
-            "both workloads and flags only genuinely outlying points; on "
-            "the strong workload single planted dimensions already cross T "
-            "so minimal answers are contained in s*; on the subtle "
-            "workload only joint subspaces cross T and exact recovery is "
-            "partial because planted dims mix with naturally extreme ones. "
-            "The evolutionary method misses planted subspaces (sparsity "
-            "ties among singleton grid cells) and flags many points for "
-            "partial recall"
-        ),
-    )
-    workloads = [
+    workload_name = workload
+    workload = planted_workload(**E6_WORKLOADS[workload_name])
+    miner = standard_miner(workload)
+    evolutionary = _fit_evolutionary(workload, population, generations)
+
+    hos_recoveries, evo_recoveries = [], []
+    hos_precisions, hos_recalls = [], []
+    evo_precisions, evo_recalls = [], []
+    for row in workload.dataset.outlier_rows:
+        planted = workload.dataset.true_subspaces[row]
+
+        evaluator = ODEvaluator(
+            miner.backend_, workload.dataset.X[row], miner.config.k, exclude=row
+        )
+        oracle = exhaustive_search(evaluator, miner.threshold_)
+        oracle_minimal = minimal_masks(oracle.outlying_masks)
+
+        result = miner.query_row(row)
+        hos_masks = [s.mask for s in result.minimal]
+        scores = set_scores(hos_masks, oracle_minimal)
+        hos_precisions.append(scores.precision)
+        hos_recalls.append(scores.recall)
+        hos_recoveries.append(planted_recovery(result.minimal, planted))
+
+        evo_subspaces = evolutionary.subspaces_for_point(row)
+        evo_masks = [s.mask for s in evo_subspaces]
+        scores = set_scores(evo_masks, oracle_minimal)
+        evo_precisions.append(scores.precision)
+        evo_recalls.append(scores.recall)
+        evo_recoveries.append(planted_recovery(evo_subspaces, planted))
+
+    # Points each method flags as "an outlier somewhere": HOS-Miner
+    # flags rows whose full-space OD reaches T (monotonicity makes
+    # that the exact criterion); the evolutionary method flags
+    # everything inside its best cubes.
+    hos_flagged = 0
+    X = workload.dataset.X
+    for row in range(X.shape[0]):
+        evaluator = ODEvaluator(miner.backend_, X[row], miner.config.k, exclude=row)
+        if evaluator.od((1 << d) - 1) >= miner.threshold_:
+            hos_flagged += 1
+    rows = []
+    for method, recoveries, precisions, recalls, points_flagged in [
+        ("HOS-Miner", hos_recoveries, hos_precisions, hos_recalls, hos_flagged),
         (
-            "strong-3d",
-            planted_workload(
-                n=1000, d=d, n_outliers=6, subspace_dims=3, displacement=8.0,
-                seed_offset=6,
-            ),
+            "Evolutionary",
+            evo_recoveries,
+            evo_precisions,
+            evo_recalls,
+            len(evolutionary.outlier_rows_),
         ),
-        (
-            "subtle-2d",
-            planted_workload(
-                n=1000, d=d, n_outliers=6, subspace_dims=2, displacement=6.0,
-                seed_offset=66,
-            ),
-        ),
-    ]
-    for workload_name, workload in workloads:
-        miner = standard_miner(workload)
-        evolutionary = _fit_evolutionary(workload, fast)
+    ]:
+        rows.append(
+            {
+                "workload": workload_name,
+                "method": method,
+                "flagged": float(np.mean([r.flagged for r in recoveries])),
+                "exact": float(np.mean([r.exact for r in recoveries])),
+                "contained": float(np.mean([r.contained for r in recoveries])),
+                "covered": float(np.mean([r.covered for r in recoveries])),
+                "jaccard": float(np.mean([r.best_jaccard for r in recoveries])),
+                "prec_vs_oracle": float(np.mean(precisions)),
+                "rec_vs_oracle": float(np.mean(recalls)),
+                "points_flagged": points_flagged,
+            }
+        )
+    return rows
 
-        hos_recoveries, evo_recoveries = [], []
-        hos_precisions, hos_recalls = [], []
-        evo_precisions, evo_recalls = [], []
-        for row in workload.dataset.outlier_rows:
-            planted = workload.dataset.true_subspaces[row]
 
-            evaluator = ODEvaluator(
-                miner.backend_, workload.dataset.X[row], miner.config.k, exclude=row
-            )
-            oracle = exhaustive_search(evaluator, miner.threshold_)
-            oracle_minimal = minimal_masks(oracle.outlying_masks)
-
-            result = miner.query_row(row)
-            hos_masks = [s.mask for s in result.minimal]
-            scores = set_scores(hos_masks, oracle_minimal)
-            hos_precisions.append(scores.precision)
-            hos_recalls.append(scores.recall)
-            hos_recoveries.append(planted_recovery(result.minimal, planted))
-
-            evo_subspaces = evolutionary.subspaces_for_point(row)
-            evo_masks = [s.mask for s in evo_subspaces]
-            scores = set_scores(evo_masks, oracle_minimal)
-            evo_precisions.append(scores.precision)
-            evo_recalls.append(scores.recall)
-            evo_recoveries.append(planted_recovery(evo_subspaces, planted))
-
-        # Points each method flags as "an outlier somewhere": HOS-Miner
-        # flags rows whose full-space OD reaches T (monotonicity makes
-        # that the exact criterion); the evolutionary method flags
-        # everything inside its best cubes.
-        hos_flagged = 0
-        X = workload.dataset.X
-        for row in range(X.shape[0]):
-            evaluator = ODEvaluator(
-                miner.backend_, X[row], miner.config.k, exclude=row
-            )
-            if evaluator.od((1 << d) - 1) >= miner.threshold_:
-                hos_flagged += 1
-        for method, recoveries, precisions, recalls, points_flagged in [
-            ("HOS-Miner", hos_recoveries, hos_precisions, hos_recalls, hos_flagged),
-            (
-                "Evolutionary",
-                evo_recoveries,
-                evo_precisions,
-                evo_recalls,
-                len(evolutionary.outlier_rows_),
-            ),
-        ]:
-            experiment.add_row(
-                workload=workload_name,
-                method=method,
-                flagged=float(np.mean([r.flagged for r in recoveries])),
-                exact=float(np.mean([r.exact for r in recoveries])),
-                contained=float(np.mean([r.contained for r in recoveries])),
-                covered=float(np.mean([r.covered for r in recoveries])),
-                jaccard=float(np.mean([r.best_jaccard for r in recoveries])),
-                prec_vs_oracle=float(np.mean(precisions)),
-                rec_vs_oracle=float(np.mean(recalls)),
-                points_flagged=points_flagged,
-            )
-    experiment.note(
+E6_SPEC = ExperimentSpec(
+    name="e6",
+    title="Effectiveness on planted outliers (n=1000, d=8)",
+    grid={
+        "workload": ("strong-3d", "subtle-2d"),
+        "population": (80,),
+        "generations": (60,),
+    },
+    smoke={"population": (40,), "generations": (25,)},
+    run=_e6_run,
+    columns=[
+        "workload",
+        "method",
+        "flagged",
+        "exact",
+        "contained",
+        "covered",
+        "jaccard",
+        "prec_vs_oracle",
+        "rec_vs_oracle",
+        "points_flagged",
+    ],
+    expectation=(
+        "HOS-Miner matches the oracle exactly (lossless pruning) on "
+        "both workloads and flags only genuinely outlying points; on "
+        "the strong workload single planted dimensions already cross T "
+        "so minimal answers are contained in s*; on the subtle "
+        "workload only joint subspaces cross T and exact recovery is "
+        "partial because planted dims mix with naturally extreme ones. "
+        "The evolutionary method misses planted subspaces (sparsity "
+        "ties among singleton grid cells) and flags many points for "
+        "partial recall"
+    ),
+    notes=[
         "oracle = exhaustive OD search; 'prec/rec_vs_oracle' compare each "
         "method's minimal subspaces against the oracle's minimal set"
+    ],
+)
+
+
+def e6_effectiveness(fast: bool = True) -> Experiment:
+    """Effectiveness: HOS-Miner vs the evolutionary method vs the oracle."""
+    return run_spec(E6_SPEC, tier=_tier(fast)).to_experiment()
+
+
+def _e7_run(ctx, population: int, generations: int) -> list[dict]:
+    workload = planted_workload(n=1000, d=8, seed_offset=7)
+    miner = standard_miner(workload)
+    query_evals, query_s = _avg_query_cost(miner, workload.query_rows)
+    rows = [
+        {
+            "method": "HOS-Miner",
+            "setup_ms": miner.learning_report_.wall_time_s * 1e3,
+            "per_query_ms": query_s * 1e3,
+            "evaluations": query_evals,
+            "unit": "OD evals/query",
+        }
+    ]
+    evolutionary, fit_s = timed(
+        lambda: _fit_evolutionary(workload, population, generations)
     )
-    return experiment
+    per_point_s = fit_s / len(workload.query_rows)
+    rows.append(
+        {
+            "method": "Evolutionary",
+            "setup_ms": fit_s * 1e3,
+            "per_query_ms": per_point_s * 1e3,
+            "evaluations": float(evolutionary.evaluations_),
+            "unit": "cube evals total",
+        }
+    )
+    return rows
+
+
+E7_SPEC = ExperimentSpec(
+    name="e7",
+    title="Efficiency vs the evolutionary method (n=1000, d=8)",
+    grid={"population": (80,), "generations": (60,)},
+    smoke={"population": (40,), "generations": (25,)},
+    run=_e7_run,
+    columns=["method", "setup_ms", "per_query_ms", "evaluations", "unit"],
+    expectation=(
+        "both methods avoid exhaustive enumeration; HOS-Miner pays a "
+        "one-off learning pass and cheap per-point queries, the "
+        "evolutionary method pays one global GA run that answers all "
+        "points but cannot be steered to a specific query point"
+    ),
+    notes=[
+        "evolutionary per-query cost = GA run amortised over the query set; "
+        "the GA answers only 'which points fall in globally sparse cubes'"
+    ],
+)
 
 
 def e7_vs_evolutionary(fast: bool = True) -> Experiment:
     """Efficiency: HOS-Miner vs the evolutionary method."""
-    experiment = Experiment(
-        experiment_id="E7",
-        title="Efficiency vs the evolutionary method (n=1000, d=8)",
-        columns=["method", "setup_ms", "per_query_ms", "evaluations", "unit"],
-        expectation=(
-            "both methods avoid exhaustive enumeration; HOS-Miner pays a "
-            "one-off learning pass and cheap per-point queries, the "
-            "evolutionary method pays one global GA run that answers all "
-            "points but cannot be steered to a specific query point"
-        ),
-    )
-    workload = planted_workload(n=1000, d=8, seed_offset=7)
-    miner = standard_miner(workload)
-    query_evals, query_s = _avg_query_cost(miner, workload.query_rows)
-    experiment.add_row(
-        method="HOS-Miner",
-        setup_ms=miner.learning_report_.wall_time_s * 1e3,
-        per_query_ms=query_s * 1e3,
-        evaluations=query_evals,
-        unit="OD evals/query",
-    )
-    evolutionary, fit_s = timed(lambda: _fit_evolutionary(workload, fast))
-    per_point_s = fit_s / len(workload.query_rows)
-    experiment.add_row(
-        method="Evolutionary",
-        setup_ms=fit_s * 1e3,
-        per_query_ms=per_point_s * 1e3,
-        evaluations=float(evolutionary.evaluations_),
-        unit="cube evals total",
-    )
-    experiment.note(
-        "evolutionary per-query cost = GA run amortised over the query set; "
-        "the GA answers only 'which points fall in globally sparse cubes'"
-    )
-    return experiment
+    return run_spec(E7_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E8 — index substrate comparison
 # ----------------------------------------------------------------------
-def e8_index(fast: bool = True) -> Experiment:
-    """X-tree vs R*-tree vs linear scan on subspace kNN."""
-    experiment = Experiment(
-        experiment_id="E8",
-        title="Index backends on subspace kNN (k=5, M=16)",
-        columns=[
-            "data",
-            "n",
-            "d",
-            "backend",
-            "build_ms",
-            "node_acc",
-            "dist_comp",
-            "query_ms",
-            "supernodes",
-        ],
-        expectation=(
-            "trees need far fewer node accesses / distance computations "
-            "than the scan at low-to-moderate d; the gap narrows as d "
-            "grows; on uniform high-d data the X-tree absorbs directory "
-            "overlap into supernodes (the X-tree paper's regime) while "
-            "clustered data splits cleanly for both trees; raw wall time "
-            "favours the vectorised scan in pure Python (reported honestly)"
-        ),
-    )
-    configurations = (
-        [("clustered", 1000, 4), ("clustered", 1000, 8), ("uniform", 2000, 16)]
-        if fast
-        else [
-            ("clustered", 1000, 4),
-            ("clustered", 1000, 8),
-            ("clustered", 4000, 8),
-            ("clustered", 4000, 16),
-            ("uniform", 2000, 16),
-            ("uniform", 4000, 16),
-        ]
-    )
+_E8_CONFIGS_SMOKE = (("clustered", 1000, 4), ("clustered", 1000, 8), ("uniform", 2000, 16))
+_E8_CONFIGS_FULL = (
+    ("clustered", 1000, 4),
+    ("clustered", 1000, 8),
+    ("clustered", 4000, 8),
+    ("clustered", 4000, 16),
+    ("uniform", 2000, 16),
+    ("uniform", 4000, 16),
+)
+
+
+def _e8_setup(tier: str) -> dict:
+    """Datasets, query rows and subspace pools for every configuration.
+
+    One RNG is consumed *sequentially* across configurations, exactly as
+    the pre-harness script did, so the measured numbers are unchanged.
+    """
+    fast = tier == "smoke"
+    configurations = _E8_CONFIGS_SMOKE if fast else _E8_CONFIGS_FULL
     rng = np.random.default_rng(SEED)
+    ctx = {}
     for data_kind, n, d in configurations:
         if data_kind == "clustered":
             X = planted_workload(n=n, d=d, seed_offset=100 + d).dataset.X
@@ -597,104 +683,154 @@ def e8_index(fast: bool = True) -> Experiment:
             tuple(sorted(rng.choice(d, size=size, replace=False)))
             for size in (1, max(1, d // 2), d)
         ]
-        for name, factory in [
-            ("linear", lambda: LinearScanIndex(X)),
-            ("rstar", lambda: RStarTree(X, max_entries=16)),
-            ("xtree", lambda: XTree(X, max_entries=16)),
-            ("vafile", lambda: VAFile(X, bits=6)),
-        ]:
-            backend, build_s = timed(factory)
-            backend.stats.reset()
-            start = time.perf_counter()
-            for row in queries:
-                for dims in subspace_pool:
-                    backend.knn(X[row], 5, dims, exclude=int(row))
-            elapsed = time.perf_counter() - start
-            n_queries = len(queries) * len(subspace_pool)
-            supernodes = backend.supernode_count() if isinstance(backend, XTree) else 0
-            experiment.add_row(
-                data=data_kind,
-                n=n,
-                d=d,
-                backend=name,
-                build_ms=build_s * 1e3,
-                node_acc=backend.stats.node_accesses / n_queries,
-                dist_comp=backend.stats.distance_computations / n_queries,
-                query_ms=elapsed / n_queries * 1e3,
-                supernodes=supernodes,
-            )
-    return experiment
+        ctx[(data_kind, n, d)] = (X, queries, subspace_pool)
+    return ctx
+
+
+def _e8_run(ctx: dict, config: tuple) -> list[dict]:
+    data_kind, n, d = config
+    X, queries, subspace_pool = ctx[(data_kind, int(n), int(d))]
+    rows = []
+    for name, factory in [
+        ("linear", lambda: LinearScanIndex(X)),
+        ("rstar", lambda: RStarTree(X, max_entries=16)),
+        ("xtree", lambda: XTree(X, max_entries=16)),
+        ("vafile", lambda: VAFile(X, bits=6)),
+    ]:
+        backend, build_s = timed(factory)
+        backend.stats.reset()
+        start = time.perf_counter()
+        for row in queries:
+            for dims in subspace_pool:
+                backend.knn(X[row], 5, dims, exclude=int(row))
+        elapsed = time.perf_counter() - start
+        n_queries = len(queries) * len(subspace_pool)
+        supernodes = backend.supernode_count() if isinstance(backend, XTree) else 0
+        rows.append(
+            {
+                "data": data_kind,
+                "n": n,
+                "d": d,
+                "backend": name,
+                "build_ms": build_s * 1e3,
+                "node_acc": backend.stats.node_accesses / n_queries,
+                "dist_comp": backend.stats.distance_computations / n_queries,
+                "query_ms": elapsed / n_queries * 1e3,
+                "supernodes": supernodes,
+            }
+        )
+    return rows
+
+
+E8_SPEC = ExperimentSpec(
+    name="e8",
+    title="Index backends on subspace kNN (k=5, M=16)",
+    grid={"config": _E8_CONFIGS_FULL},
+    smoke={"config": _E8_CONFIGS_SMOKE},
+    setup=_e8_setup,
+    run=_e8_run,
+    columns=[
+        "data",
+        "n",
+        "d",
+        "backend",
+        "build_ms",
+        "node_acc",
+        "dist_comp",
+        "query_ms",
+        "supernodes",
+    ],
+    expectation=(
+        "trees need far fewer node accesses / distance computations "
+        "than the scan at low-to-moderate d; the gap narrows as d "
+        "grows; on uniform high-d data the X-tree absorbs directory "
+        "overlap into supernodes (the X-tree paper's regime) while "
+        "clustered data splits cleanly for both trees; raw wall time "
+        "favours the vectorised scan in pure Python (reported honestly)"
+    ),
+)
+
+
+def e8_index(fast: bool = True) -> Experiment:
+    """X-tree vs R*-tree vs linear scan on subspace kNN."""
+    return run_spec(E8_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E9 — filter refinement
 # ----------------------------------------------------------------------
-def e9_filter(fast: bool = True) -> Experiment:
-    """How much the Section 3.4 filter shrinks the raw answer set."""
-    experiment = Experiment(
-        experiment_id="E9",
-        title="Result refinement (n=1000, d=10, planted outliers)",
-        columns=["query_row", "outlying_total", "minimal", "refinement_factor"],
-        expectation=(
-            "the upward-closed answer set is dominated by implied "
-            "supersets; the filter routinely collapses it by one to two "
-            "orders of magnitude"
-        ),
-    )
+def _e9_setup(tier: str) -> HOSMiner:
     workload = planted_workload(n=1000, d=10, n_outliers=5, seed_offset=9)
-    miner = standard_miner(workload)
-    for row in workload.dataset.outlier_rows:
-        result = miner.query_row(row)
-        experiment.add_row(
-            query_row=row,
-            outlying_total=result.total_outlying,
-            minimal=len(result.minimal),
-            refinement_factor=result.refinement_factor,
-        )
-    experiment.note(
+    return standard_miner(workload)
+
+
+def _e9_run(miner: HOSMiner, query_row: int) -> dict:
+    result = miner.query_row(query_row)
+    return {
+        "query_row": query_row,
+        "outlying_total": result.total_outlying,
+        "minimal": len(result.minimal),
+        "refinement_factor": result.refinement_factor,
+    }
+
+
+E9_SPEC = ExperimentSpec(
+    name="e9",
+    title="Result refinement (n=1000, d=10, planted outliers)",
+    grid={"query_row": (0, 1, 2, 3, 4)},
+    setup=_e9_setup,
+    run=_e9_run,
+    columns=["query_row", "outlying_total", "minimal", "refinement_factor"],
+    expectation=(
+        "the upward-closed answer set is dominated by implied "
+        "supersets; the filter routinely collapses it by one to two "
+        "orders of magnitude"
+    ),
+    notes=[
         "paper worked example: {[1,3],[2,4],+5 supersets} -> filter keeps "
         "[1,3],[2,4] (pinned in tests/test_filtering.py)"
-    )
-    return experiment
+    ],
+)
+
+
+def e9_filter(fast: bool = True) -> Experiment:
+    """How much the Section 3.4 filter shrinks the raw answer set."""
+    return run_spec(E9_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E10 — search-order ablation
 # ----------------------------------------------------------------------
-def e10_ablation(fast: bool = True) -> Experiment:
-    """What TSF scheduling and learning each contribute."""
-    experiment = Experiment(
-        experiment_id="E10",
-        title="Search-order ablation (n=1000, d=10, k=5)",
-        columns=[
-            "strategy",
-            "outlier_q_evals",
-            "inlier_q_evals",
-            "query_ms",
-            "answers_match_oracle",
-        ],
-        expectation=(
-            "every pruning strategy returns the oracle answer (pruning is "
-            "lossless); exhaustive is the ceiling; fixed sweeps are "
-            "one-sided (bottom-up good for outliers, top-down for "
-            "inliers); TSF with learned priors wins on inliers but pays "
-            "on outliers; the adaptive extension is strong on both"
-        ),
-    )
+def _e10_setup(tier: str) -> dict:
     workload = planted_workload(n=1000, d=10, seed_offset=10)
     miner = standard_miner(workload)
-    threshold = miner.threshold_
     backend = miner.backend_
-    k = miner.config.k
     X = workload.dataset.X
 
     def evaluator_for(row: int) -> ODEvaluator:
-        return ODEvaluator(backend, X[row], k, exclude=row)
+        return ODEvaluator(backend, X[row], miner.config.k, exclude=row)
 
-    uniform = PruningPriors.uniform(backend.d)
+    oracle_answers = {
+        row: frozenset(
+            exhaustive_search(evaluator_for(row), miner.threshold_).outlying_masks
+        )
+        for row in workload.query_rows
+    }
+    return {
+        "workload": workload,
+        "miner": miner,
+        "evaluator_for": evaluator_for,
+        "uniform": PruningPriors.uniform(backend.d),
+        "oracle_answers": oracle_answers,
+    }
+
+
+def _e10_run(ctx: dict, strategy: str) -> dict:
+    workload, miner = ctx["workload"], ctx["miner"]
+    evaluator_for = ctx["evaluator_for"]
+    threshold = miner.threshold_
     learned = miner.priors_
-
-    strategies = {
+    runners = {
         "exhaustive": lambda row: exhaustive_search(evaluator_for(row), threshold),
         "bottom_up": lambda row: fixed_order_search(
             evaluator_for(row), threshold, "bottom_up"
@@ -703,7 +839,7 @@ def e10_ablation(fast: bool = True) -> Experiment:
             evaluator_for(row), threshold, "top_down"
         ),
         "tsf_uniform": lambda row: DynamicSubspaceSearch(
-            evaluator_for(row), threshold, uniform
+            evaluator_for(row), threshold, ctx["uniform"]
         ).run(),
         "tsf_learned": lambda row: DynamicSubspaceSearch(
             evaluator_for(row), threshold, learned
@@ -715,34 +851,115 @@ def e10_ablation(fast: bool = True) -> Experiment:
             evaluator_for(row), threshold, learned, adaptive=True
         ).run(),
     }
-
+    runner = runners[strategy]
     planted = set(workload.dataset.outlier_rows)
-    oracle_answers = {
-        row: frozenset(exhaustive_search(evaluator_for(row), threshold).outlying_masks)
-        for row in workload.query_rows
+    outlier_evals, inlier_evals, seconds, matches = [], [], [], True
+    for row in workload.query_rows:
+        outcome = runner(row)
+        bucket = outlier_evals if row in planted else inlier_evals
+        bucket.append(outcome.stats.od_evaluations)
+        seconds.append(outcome.stats.wall_time_s)
+        if frozenset(outcome.outlying_masks) != ctx["oracle_answers"][row]:
+            matches = False
+    return {
+        "strategy": strategy,
+        "outlier_q_evals": float(np.mean(outlier_evals)),
+        "inlier_q_evals": float(np.mean(inlier_evals)),
+        "query_ms": float(np.mean(seconds)) * 1e3,
+        "answers_match_oracle": matches,
     }
-    for name, runner in strategies.items():
-        outlier_evals, inlier_evals, seconds, matches = [], [], [], True
-        for row in workload.query_rows:
-            outcome = runner(row)
-            bucket = outlier_evals if row in planted else inlier_evals
-            bucket.append(outcome.stats.od_evaluations)
-            seconds.append(outcome.stats.wall_time_s)
-            if frozenset(outcome.outlying_masks) != oracle_answers[row]:
-                matches = False
-        experiment.add_row(
-            strategy=name,
-            outlier_q_evals=float(np.mean(outlier_evals)),
-            inlier_q_evals=float(np.mean(inlier_evals)),
-            query_ms=float(np.mean(seconds)) * 1e3,
-            answers_match_oracle=matches,
+
+
+E10_SPEC = ExperimentSpec(
+    name="e10",
+    title="Search-order ablation (n=1000, d=10, k=5)",
+    grid={
+        "strategy": (
+            "exhaustive",
+            "bottom_up",
+            "top_down",
+            "tsf_uniform",
+            "tsf_learned",
+            "tsf_learned_fine",
+            "tsf_adaptive",
         )
-    return experiment
+    },
+    setup=_e10_setup,
+    run=_e10_run,
+    columns=[
+        "strategy",
+        "outlier_q_evals",
+        "inlier_q_evals",
+        "query_ms",
+        "answers_match_oracle",
+    ],
+    expectation=(
+        "every pruning strategy returns the oracle answer (pruning is "
+        "lossless); exhaustive is the ceiling; fixed sweeps are "
+        "one-sided (bottom-up good for outliers, top-down for "
+        "inliers); TSF with learned priors wins on inliers but pays "
+        "on outliers; the adaptive extension is strong on both"
+    ),
+)
+
+
+def e10_ablation(fast: bool = True) -> Experiment:
+    """What TSF scheduling and learning each contribute."""
+    return run_spec(E10_SPEC, tier=_tier(fast)).to_experiment()
 
 
 # ----------------------------------------------------------------------
 # E11 — X-tree design-choice ablation: the max_overlap knob
 # ----------------------------------------------------------------------
+def _e11_setup(tier: str) -> dict:
+    n, d = (1500, 16) if tier == "smoke" else (4000, 16)
+    X = make_uniform_noise(n, d, seed=SEED + 11).X
+    rng = np.random.default_rng(SEED)
+    queries = rng.choice(n, size=10 if tier == "smoke" else 25, replace=False)
+    return {"X": X, "queries": queries, "dims": tuple(range(0, d, 2))}
+
+
+def _e11_run(ctx: dict, max_overlap: float, n: int) -> dict:
+    X, queries = ctx["X"], ctx["queries"]
+    tree = XTree(X, max_entries=8, max_overlap=max_overlap)
+    tree.stats.reset()
+    for row in queries:
+        tree.knn(X[row], 5, ctx["dims"], exclude=int(row))
+    return {
+        "max_overlap": max_overlap,
+        "supernodes": tree.supernode_count(),
+        "max_blocks": tree.max_supernode_blocks(),
+        "nodes": tree.node_count(),
+        "node_acc": tree.stats.node_accesses / len(queries),
+        "dist_comp": tree.stats.distance_computations / len(queries),
+    }
+
+
+E11_SPEC = ExperimentSpec(
+    name="e11",
+    title="X-tree max_overlap ablation (uniform data, d=16, M=8)",
+    grid={"max_overlap": (0.0, 0.1, 0.2, 0.5, 1.0), "n": (4000,)},
+    smoke={"max_overlap": (0.0, 0.2, 1.0), "n": (1500,)},
+    setup=_e11_setup,
+    run=_e11_run,
+    columns=[
+        "max_overlap",
+        "supernodes",
+        "max_blocks",
+        "nodes",
+        "node_acc",
+        "dist_comp",
+    ],
+    expectation=(
+        "small max_overlap creates more/wider supernodes (fewer, "
+        "fatter nodes — scan-like); large max_overlap accepts "
+        "overlapping splits (R*-like directories whose regions "
+        "overlap, inflating node accesses); the paper's 0.2 balances "
+        "the two"
+    ),
+)
+
+
 def e11_xtree_overlap(fast: bool = True) -> Experiment:
     """What the X-tree's split-or-supernode threshold buys.
 
@@ -751,47 +968,11 @@ def e11_xtree_overlap(fast: bool = True) -> Experiment:
     topological split (plain R*-tree behaviour). The paper's 20% sits
     between; this ablation sweeps the knob on uniform high-d data.
     """
-    experiment = Experiment(
-        experiment_id="E11",
-        title="X-tree max_overlap ablation (uniform data, d=16, M=8)",
-        columns=[
-            "max_overlap",
-            "supernodes",
-            "max_blocks",
-            "nodes",
-            "node_acc",
-            "dist_comp",
-        ],
-        expectation=(
-            "small max_overlap creates more/wider supernodes (fewer, "
-            "fatter nodes — scan-like); large max_overlap accepts "
-            "overlapping splits (R*-like directories whose regions "
-            "overlap, inflating node accesses); the paper's 0.2 balances "
-            "the two"
-        ),
-    )
-    n, d = (1500, 16) if fast else (4000, 16)
-    X = make_uniform_noise(n, d, seed=SEED + 11).X
-    rng = np.random.default_rng(SEED)
-    queries = rng.choice(n, size=10 if fast else 25, replace=False)
-    dims = tuple(range(0, d, 2))
-    for max_overlap in ([0.0, 0.2, 1.0] if fast else [0.0, 0.1, 0.2, 0.5, 1.0]):
-        tree = XTree(X, max_entries=8, max_overlap=max_overlap)
-        tree.stats.reset()
-        for row in queries:
-            tree.knn(X[row], 5, dims, exclude=int(row))
-        experiment.add_row(
-            max_overlap=max_overlap,
-            supernodes=tree.supernode_count(),
-            max_blocks=tree.max_supernode_blocks(),
-            nodes=tree.node_count(),
-            node_acc=tree.stats.node_accesses / len(queries),
-            dist_comp=tree.stats.distance_computations / len(queries),
-        )
-    return experiment
+    return run_spec(E11_SPEC, tier=_tier(fast)).to_experiment()
 
 
-#: Registry used by the CLI and the benchmark wrappers.
+#: Table-experiment registry used by the ``experiment`` CLI subcommand
+#: and the benchmark wrappers (classic ``fast=True`` entry points).
 ALL_EXPERIMENTS = {
     "f1": f1_figure1,
     "e0": e0_savings,
@@ -806,4 +987,26 @@ ALL_EXPERIMENTS = {
     "e9": e9_filter,
     "e10": e10_ablation,
     "e11": e11_xtree_overlap,
+}
+
+#: Spec registry for the paper-table experiments (the end-to-end perf
+#: specs e12/e13 live in repro.bench.perf; the merged registry is
+#: repro.bench.ALL_SPECS).
+SPECS = {
+    spec.name: spec
+    for spec in (
+        F1_SPEC,
+        E0_SPEC,
+        E1_SPEC,
+        E2_SPEC,
+        E3_SPEC,
+        E4_SPEC,
+        E5_SPEC,
+        E6_SPEC,
+        E7_SPEC,
+        E8_SPEC,
+        E9_SPEC,
+        E10_SPEC,
+        E11_SPEC,
+    )
 }

@@ -1,10 +1,11 @@
 """Experiment harness: declarative experiment objects with saved artefacts.
 
-Each experiment (see the index in DESIGN.md) builds one
+Each experiment (``repro bench --list`` shows the index) renders one
 :class:`Experiment`, fills its table, and optionally saves a JSON record
-under ``results/``. The benchmark files under ``benchmarks/`` and the
-CLI both drive experiments through this module, so tables are identical
-wherever they are produced.
+under ``results/``. The declarative layer (:mod:`repro.bench.spec`,
+:mod:`repro.bench.runner`) produces these tables from specs, so the
+benchmark files under ``benchmarks/`` and the CLI print identical
+tables wherever they are produced.
 """
 
 from __future__ import annotations
@@ -32,7 +33,8 @@ class Experiment:
     Attributes
     ----------
     experiment_id:
-        Short id from the DESIGN.md index (``"E1"``, ``"F1"``, ...).
+        Short id from the experiment index (``"E1"``, ``"F1"``, ...;
+        ``repro bench --list`` enumerates them).
     title:
         Human title printed above the table.
     expectation:

@@ -1,0 +1,246 @@
+"""End-to-end performance specs: E12 (batch engine) and E13 (OD kernel).
+
+Unlike the paper-table experiments in :mod:`repro.bench.experiments`,
+these two specs track the repo's own performance trajectory: their
+smoke-tier snapshots are committed at the repo root as
+``BENCH_e12.json`` / ``BENCH_e13.json`` and CI re-runs them on every
+push, failing when a gated measure regresses by more than 15%
+(:func:`repro.bench.snapshot.compare_snapshots`).
+
+Only *machine-relative* ratios are gated — E12's ``speedup`` (batched
+vs sequential wall time) and E13's ``speedup``/``fused_speedup`` (GEMM
+vs exact kernel) — because a committed baseline travels across
+heterogeneous runners where absolute queries/sec mean nothing. The
+absolute throughput and latency columns are recorded in every snapshot
+for the trajectory, but never gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.spec import ExperimentSpec
+from repro.bench.workloads import (
+    E13_SEED,
+    make_level_masks,
+    make_traffic,
+    planted_workload,
+    standard_miner,
+)
+from repro.index.linear import LinearScanIndex
+
+__all__ = ["E12_SPEC", "E13_SPEC", "PERF_SPECS", "run_batch_cell", "run_kernel_cell"]
+
+
+# ----------------------------------------------------------------------
+# E12 — batched multi-query throughput versus the sequential loop
+# ----------------------------------------------------------------------
+def run_batch_cell(n: int, d: int, m: int, workers: int = 2) -> dict:
+    """Time sequential vs batched vs multiprocess on one workload.
+
+    ``threshold_quantile=0.9`` keeps a meaningful share of the batch in
+    the eval-heavy regime (searches that actually walk the lattice) —
+    with an ultra-tight threshold nearly every query resolves in one
+    full-space evaluation and every implementation is bound by the same
+    per-query bookkeeping.
+    """
+    workload = planted_workload(n=n, d=d, seed_offset=12)
+    miner = standard_miner(workload, threshold_quantile=0.9)
+    targets = make_traffic(workload, m)
+
+    start = time.perf_counter()
+    sequential = [miner.query(target) for target in targets]
+    sequential_s = time.perf_counter() - start
+
+    batch = miner.query_batch(targets)
+
+    # A fresh fit for the workers run so its cache starts equally warm.
+    miner_mp = standard_miner(workload, threshold_quantile=0.9)
+    start = time.perf_counter()
+    miner_mp.query_batch(targets, workers=workers)
+    workers_s = time.perf_counter() - start
+
+    assert all(
+        a.minimal == b.minimal and a.total_outlying == b.total_outlying
+        for a, b in zip(sequential, batch.results)
+    ), "batched answers diverged from the sequential loop"
+
+    return {
+        "n": n,
+        "d": d,
+        "m": m,
+        "seq_qps": m / sequential_s,
+        "batch_qps": batch.queries_per_second,
+        "speedup": sequential_s / batch.wall_time_s,
+        "workers_qps": m / workers_s,
+        "cache_hits": batch.shared_cache_hits,
+        "knn_evals": batch.knn_evaluations,
+        "_counters": miner.backend_.stats.snapshot(),
+    }
+
+
+def _e12_run(ctx, cell: tuple, workers: int) -> dict:
+    n, d, m = cell
+    return run_batch_cell(int(n), int(d), int(m), workers=int(workers))
+
+
+E12_SPEC = ExperimentSpec(
+    name="e12",
+    title="Batched multi-query throughput (linear backend)",
+    grid={"cell": ((1000, 10, 64), (2000, 10, 128), (5000, 12, 256))},
+    smoke={"cell": ((1000, 10, 64),)},
+    fixed={"workers": 2},
+    run=_e12_run,
+    columns=[
+        "n",
+        "d",
+        "m",
+        "seq_qps",
+        "batch_qps",
+        "speedup",
+        "workers_qps",
+        "cache_hits",
+        "knn_evals",
+    ],
+    expectation=(
+        "the batched engine answers element-wise identical results "
+        "faster than the sequential loop by vectorising kNN kernels "
+        "across concurrent searches and replaying shared OD values "
+        "from the per-fit cache"
+    ),
+    notes=[
+        "identical answers verified against the sequential loop for every row"
+    ],
+    # Gate on the median of 3 measured repeats: single-shot wall-time
+    # ratios swing far past the 15% tolerance on a loaded machine.
+    repeats=3,
+    regression={"speedup": "higher"},
+)
+
+
+# ----------------------------------------------------------------------
+# E13 — GEMM level-wide OD kernel versus the exact per-mask loop
+# ----------------------------------------------------------------------
+def _time_kernel(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time for one kernel invocation.
+
+    Minimum, not mean: scheduler preemption and allocator stalls only ever
+    *add* time, so the fastest rep is the closest estimate of the kernel's
+    intrinsic cost — and the only one stable enough for a 15% CI gate on
+    sub-millisecond cells (see docs/benchmarking.md).
+    """
+    fn()  # warm-up (BLAS thread pools, allocator)
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_kernel_cell(n: int, d: int, width: int, k: int = 5, reps: int = 7) -> dict:
+    """Time the exact, GEMM and fused OD kernels on one (n, d, width) cell."""
+    rng = np.random.default_rng(E13_SEED)
+    X = rng.normal(size=(n, d))
+    query = rng.normal(size=d)
+    backend = LinearScanIndex(X)
+    masks = make_level_masks(rng, d, width)
+    components = backend.distance_components(query)
+
+    exact_s = _time_kernel(
+        lambda: backend.knn_distance_sums(
+            query, k, masks, components=components, kernel="exact"
+        ),
+        reps,
+    )
+    gemm_s = _time_kernel(
+        lambda: backend.knn_distance_sums(
+            query, k, masks, components=components, kernel="gemm"
+        ),
+        reps,
+    )
+
+    # Mask-major fusion: 4 queries stacked into one C_batch GEMM,
+    # reported per query for comparability with the single-query cells.
+    queries = rng.normal(size=(4, d))
+    components_list = [backend.distance_components(q) for q in queries]
+    fused_s = (
+        _time_kernel(
+            lambda: backend.knn_distance_sums_batch(
+                queries, k, masks, components_list=components_list, kernel="gemm"
+            ),
+            reps,
+        )
+        / queries.shape[0]
+    )
+
+    exact = backend.knn_distance_sums(
+        query, k, masks, components=components, kernel="exact"
+    )
+    gemm = backend.knn_distance_sums(
+        query, k, masks, components=components, kernel="gemm"
+    )
+    max_rel_err = float(np.max(np.abs(gemm - exact) / np.maximum(np.abs(exact), 1e-300)))
+
+    return {
+        "n": n,
+        "d": d,
+        "width": width,
+        "k": k,
+        "exact_ms": exact_s * 1e3,
+        "gemm_ms": gemm_s * 1e3,
+        "fused_ms_per_query": fused_s * 1e3,
+        "speedup": exact_s / gemm_s,
+        "fused_speedup": exact_s / fused_s,
+        "max_rel_err": max_rel_err,
+        "_counters": backend.stats.snapshot(),
+    }
+
+
+def _e13_run(ctx, n: int, d: int, width: int, k: int, reps: int) -> dict:
+    return run_kernel_cell(int(n), int(d), int(width), k=int(k), reps=int(reps))
+
+
+E13_SPEC = ExperimentSpec(
+    name="e13",
+    title="Level-wide GEMM OD kernel vs exact per-mask loop (linear backend)",
+    # reps is tier-dependent: the smoke tier feeds the CI regression gate,
+    # and its sub-millisecond cells need 25 internal reps per timing for a
+    # stable speedup ratio; the full tier keeps the published 7.
+    grid={"n": (4000,), "d": (8, 12, 16, 20), "width": (16, 64, 256), "reps": (7,)},
+    smoke={"n": (2000,), "d": (8, 12), "width": (16, 64), "reps": (25,)},
+    fixed={"k": 5},
+    run=_e13_run,
+    columns=[
+        "n",
+        "d",
+        "width",
+        "k",
+        "exact_ms",
+        "gemm_ms",
+        "fused_ms_per_query",
+        "speedup",
+        "fused_speedup",
+        "max_rel_err",
+    ],
+    expectation=(
+        "one M @ C.T BLAS product answers a whole level of masks; the "
+        "GEMM kernel beats the exact gather loop on every cell and the "
+        "mask-major fused kernel amortises further across queries"
+    ),
+    notes=[
+        "GEMM values agree with the exact kernel within rtol 1e-9 on every "
+        "cell; pruning decisions are re-verified exactly by the search layer"
+    ],
+    # The sub-millisecond cells need noise control beyond run_kernel_cell's
+    # internal reps: one unmeasured warm-up pass, then the median of 5.
+    warmup=1,
+    repeats=5,
+    regression={"speedup": "higher", "fused_speedup": "higher"},
+)
+
+
+#: The perf-trajectory specs (committed snapshots + CI gate).
+PERF_SPECS = {spec.name: spec for spec in (E12_SPEC, E13_SPEC)}

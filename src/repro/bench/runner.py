@@ -1,0 +1,254 @@
+"""Execute a declarative spec: warm-up/repeat policy plus run metadata.
+
+:func:`run_spec` is the single execution path for every benchmark in the
+repo — the ``benchmarks/`` scripts, the ``bench`` CLI subcommand and the
+CI smoke tier all call it, so a condition measured anywhere carries the
+same metadata stamp (git SHA, parameter hash, numpy/BLAS build, wall and
+CPU time, backend cost counters) and serializes to the same canonical
+``BENCH_*.json`` schema (see :mod:`repro.bench.snapshot`).
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.bench.harness import Experiment
+from repro.bench.spec import ExperimentSpec, SpecError
+
+__all__ = [
+    "ConditionRecord",
+    "SpecResult",
+    "run_metadata",
+    "run_spec",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _git_revision() -> tuple[str, bool]:
+    """(short SHA, dirty flag); ``("unknown", False)`` outside a checkout."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return sha or "unknown", bool(status)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown", False
+
+
+def _blas_info() -> str:
+    """One-line description of the BLAS numpy was built against."""
+    try:
+        config = np.show_config(mode="dicts")  # numpy >= 1.26
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "unknown")
+        version = blas.get("version", "")
+        return f"{name} {version}".strip()
+    except TypeError:  # older numpy: show_config() only prints
+        return "unknown"
+
+
+def run_metadata(spec: ExperimentSpec, tier: str) -> dict[str, Any]:
+    """The per-run provenance stamp embedded in every snapshot."""
+    sha, dirty = _git_revision()
+    return {
+        "experiment": spec.name,
+        "tier": tier,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "blas": _blas_info(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+
+def _normalize_rows(raw: Any, spec: ExperimentSpec) -> list[dict[str, Any]]:
+    """Coerce a run() return value to a list of measures dicts."""
+    if raw is None:
+        raise SpecError(f"spec {spec.name!r}: run() returned None")
+    rows = raw if isinstance(raw, list) else [raw]
+    for row in rows:
+        if not isinstance(row, dict):
+            raise SpecError(
+                f"spec {spec.name!r}: run() must return a measures dict or a "
+                f"list of them, got {type(row).__name__}"
+            )
+    return rows
+
+
+def _aggregate(repeat_rows: list[list[dict[str, Any]]]) -> tuple[list[dict], list[str]]:
+    """Merge measured repeats: per-key median for numbers, first value
+    otherwise. Returns (rows, notes) with side-channel keys stripped."""
+    notes: list[str] = []
+    first = repeat_rows[0]
+    merged: list[dict[str, Any]] = []
+    for row_index, template in enumerate(first):
+        out: dict[str, Any] = {}
+        for key, value in template.items():
+            if key == "_note":
+                notes.append(str(value))
+                continue
+            if key.startswith("_"):
+                continue
+            series = [
+                rows[row_index].get(key, value)
+                for rows in repeat_rows
+                if row_index < len(rows)
+            ]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                out[key] = value
+            else:
+                out[key] = float(np.median([float(v) for v in series]))
+                if isinstance(value, int) and all(
+                    isinstance(v, int) for v in series
+                ):
+                    out[key] = int(out[key])
+        merged.append(out)
+    return merged, notes
+
+
+@dataclass
+class ConditionRecord:
+    """One executed condition: identity, measures, costs."""
+
+    params: dict[str, Any]
+    param_hash: str
+    rows: list[dict[str, Any]]
+    wall_time_s: float
+    cpu_time_s: float
+    repeats: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SpecResult:
+    """A finished run of one spec at one tier."""
+
+    spec: ExperimentSpec
+    tier: str
+    metadata: dict[str, Any]
+    conditions: list[ConditionRecord]
+    notes: list[str] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Every table row across conditions, in condition order."""
+        return [row for record in self.conditions for row in record.rows]
+
+    # ------------------------------------------------------------------
+    def to_experiment(self) -> Experiment:
+        """Render as the classic printed :class:`Experiment` table."""
+        rows = self.rows()
+        columns = list(self.spec.columns)
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        experiment = Experiment(
+            experiment_id=self.spec.name.upper(),
+            title=self.spec.title,
+            columns=columns,
+            expectation=self.spec.expectation,
+        )
+        for row in rows:
+            experiment.add_row(**{column: row.get(column, "") for column in columns})
+        for note in [*self.spec.notes, *self.notes]:
+            experiment.note(note)
+        return experiment
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """The canonical ``BENCH_*.json`` payload (see snapshot module)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "experiment": self.spec.name,
+            "title": self.spec.title,
+            "tier": self.tier,
+            "metadata": dict(self.metadata),
+            "regression": dict(self.spec.regression),
+            "notes": list(self.notes),
+            "conditions": [
+                {
+                    "params": record.params,
+                    "param_hash": record.param_hash,
+                    "repeats": record.repeats,
+                    "wall_time_s": record.wall_time_s,
+                    "cpu_time_s": record.cpu_time_s,
+                    "counters": record.counters,
+                    "rows": record.rows,
+                }
+                for record in self.conditions
+            ],
+        }
+
+
+def run_spec(spec: ExperimentSpec, tier: str = "smoke") -> SpecResult:
+    """Execute every condition of *spec* at *tier*.
+
+    Each condition runs ``spec.warmup`` unmeasured times and then
+    ``spec.repeats`` measured times; numeric measures are aggregated by
+    median across repeats while wall/CPU time keep the *minimum* (the
+    least-noise estimate of the true cost). The shared context, when the
+    spec declares one, is built exactly once per call — mirroring the
+    original scripts that fitted one workload and swept a knob over it.
+    """
+    ctx = spec.setup(tier) if spec.setup is not None else None
+    metadata = run_metadata(spec, tier)
+    records: list[ConditionRecord] = []
+    all_notes: list[str] = []
+    for condition in spec.conditions(tier):
+        for _ in range(spec.warmup):
+            spec.run(ctx, **condition.params)
+        repeat_rows: list[list[dict[str, Any]]] = []
+        wall_times, cpu_times = [], []
+        counters: dict[str, int] = {}
+        for _ in range(spec.repeats):
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
+            raw = spec.run(ctx, **condition.params)
+            wall_times.append(time.perf_counter() - wall_start)
+            cpu_times.append(time.process_time() - cpu_start)
+            rows = _normalize_rows(raw, spec)
+            # Counters describe one execution; the last measured repeat
+            # stands for the condition (identical across repeats for the
+            # deterministic kernels).
+            counters = {}
+            for row in rows:
+                extra = row.get("_counters")
+                if isinstance(extra, dict):
+                    for key, value in extra.items():
+                        counters[key] = counters.get(key, 0) + int(value)
+            repeat_rows.append(rows)
+        rows, notes = _aggregate(repeat_rows)
+        # A note emitted by several conditions (shared-context specs)
+        # should render once.
+        all_notes.extend(note for note in notes if note not in all_notes)
+        records.append(
+            ConditionRecord(
+                params=condition.params,
+                param_hash=condition.hash,
+                rows=rows,
+                wall_time_s=min(wall_times),
+                cpu_time_s=min(cpu_times),
+                repeats=spec.repeats,
+                counters=counters,
+            )
+        )
+    return SpecResult(
+        spec=spec, tier=tier, metadata=metadata, conditions=records, notes=all_notes
+    )

@@ -1,0 +1,70 @@
+"""Shared CLI driver for the ``benchmarks/bench_*.py`` entry points.
+
+Every benchmark script's ``main()`` is one call to :func:`run_script`;
+the spec registry (:data:`repro.bench.ALL_SPECS`) supplies the grid and
+the measurement function, the harness supplies execution and
+serialization. The scripts keep their classic flags: ``--full`` lifts a
+table experiment from the smoke grid to the published grid (``--fast``
+is the inverse for the perf specs, which default to full), and
+``--save [PATH]`` writes the canonical ``BENCH_<name>.json`` snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.runner import SpecResult, run_spec
+from repro.bench.snapshot import save_snapshot, snapshot_path
+from repro.bench.spec import ExperimentSpec
+
+
+def run_script(
+    spec: ExperimentSpec,
+    argv: "list[str] | None" = None,
+    default_tier: str = "smoke",
+) -> SpecResult:
+    """Run *spec* as a command-line benchmark script.
+
+    Prints the results table, persists the classic per-experiment record
+    under ``results/`` (kept for downstream tooling), and optionally
+    writes the canonical snapshot when ``--save`` is passed. Returns the
+    :class:`~repro.bench.runner.SpecResult` for programmatic callers.
+    """
+    parser = argparse.ArgumentParser(
+        description=f"{spec.name.upper()} — {spec.title}"
+    )
+    if default_tier == "smoke":
+        parser.add_argument(
+            "--full",
+            action="store_true",
+            help="run the published full grid instead of the smoke grid",
+        )
+    else:
+        parser.add_argument(
+            "--fast",
+            action="store_true",
+            help="run the reduced smoke grid (CI-sized) instead of the full grid",
+        )
+    parser.add_argument(
+        "--save",
+        nargs="?",
+        const=snapshot_path(spec.name),
+        default=None,
+        metavar="PATH",
+        help=f"write the canonical snapshot (default {snapshot_path(spec.name)})",
+    )
+    args = parser.parse_args(argv)
+
+    if default_tier == "smoke":
+        tier = "full" if args.full else "smoke"
+    else:
+        tier = "smoke" if args.fast else "full"
+
+    result = run_spec(spec, tier=tier)
+    experiment = result.to_experiment()
+    experiment.print()
+    experiment.save()
+    if args.save:
+        path = save_snapshot(result.to_snapshot(), args.save)
+        print(f"saved {path}")
+    return result

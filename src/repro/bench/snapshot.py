@@ -1,0 +1,256 @@
+"""Canonical ``BENCH_*.json`` snapshots and the regression comparator.
+
+A snapshot is the serialized :class:`~repro.bench.runner.SpecResult` of
+one spec at one tier. Two snapshots of the same spec are comparable
+condition by condition because conditions carry stable parameter hashes
+(:func:`repro.bench.spec.param_hash`); the comparator walks the matched
+pairs and flags every gated measure that moved in its bad direction by
+more than the tolerance. ``BENCH_e12.json`` and ``BENCH_e13.json`` at
+the repo root are the committed baselines; CI re-runs the smoke tier and
+fails when a gated measure regresses by more than 15%.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "experiment": "e13",
+      "title": "...",
+      "tier": "smoke",
+      "metadata": {git_sha, git_dirty, python, numpy, blas, machine,
+                   platform, timestamp, ...},
+      "regression": {"speedup": "higher", ...},
+      "notes": [...],
+      "conditions": [
+        {"params": {...}, "param_hash": "...", "repeats": N,
+         "wall_time_s": ..., "cpu_time_s": ...,
+         "counters": {"gemm_flops": ..., ...},
+         "rows": [{measure: value, ...}, ...]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SnapshotError",
+    "RegressionReport",
+    "Comparison",
+    "DEFAULT_TOLERANCE",
+    "snapshot_path",
+    "save_snapshot",
+    "load_snapshot",
+    "validate_snapshot",
+    "compare_snapshots",
+]
+
+#: CI gate: a gated measure may move at most this fraction in its bad
+#: direction before the comparison fails.
+DEFAULT_TOLERANCE = 0.15
+
+_REQUIRED_TOP_LEVEL = ("schema_version", "experiment", "tier", "metadata", "conditions")
+_REQUIRED_CONDITION = ("params", "param_hash", "rows")
+
+
+class SnapshotError(ValueError):
+    """A snapshot that does not satisfy the schema."""
+
+
+def snapshot_path(name: str, directory: str = ".") -> str:
+    """The canonical location of a committed baseline: ``BENCH_<name>.json``."""
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def validate_snapshot(payload: Any) -> dict[str, Any]:
+    """Check *payload* against schema version 1; return it on success."""
+    if not isinstance(payload, dict):
+        raise SnapshotError(f"snapshot must be a JSON object, got {type(payload).__name__}")
+    missing = [key for key in _REQUIRED_TOP_LEVEL if key not in payload]
+    if missing:
+        raise SnapshotError(f"snapshot missing top-level keys: {missing}")
+    if payload["schema_version"] != 1:
+        raise SnapshotError(
+            f"unsupported schema_version {payload['schema_version']!r} (expected 1)"
+        )
+    if not isinstance(payload["conditions"], list) or not payload["conditions"]:
+        raise SnapshotError("snapshot must record at least one condition")
+    seen_hashes = set()
+    for index, condition in enumerate(payload["conditions"]):
+        if not isinstance(condition, dict):
+            raise SnapshotError(f"condition #{index} is not an object")
+        missing = [key for key in _REQUIRED_CONDITION if key not in condition]
+        if missing:
+            raise SnapshotError(f"condition #{index} missing keys: {missing}")
+        if not isinstance(condition["rows"], list):
+            raise SnapshotError(f"condition #{index} rows must be a list")
+        if condition["param_hash"] in seen_hashes:
+            raise SnapshotError(
+                f"duplicate param_hash {condition['param_hash']!r} — two "
+                f"conditions with identical parameters"
+            )
+        seen_hashes.add(condition["param_hash"])
+    return payload
+
+
+def save_snapshot(payload: dict[str, Any], path: str) -> str:
+    """Validate and write a snapshot; returns *path*."""
+    validate_snapshot(payload)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_snapshot(path: str) -> dict[str, Any]:
+    """Read and validate a snapshot file."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise SnapshotError(f"no snapshot at {path!r}") from None
+    except json.JSONDecodeError as error:
+        raise SnapshotError(f"{path!r} is not valid JSON: {error}") from None
+    return validate_snapshot(payload)
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    """One gated measure of one matched condition, baseline vs fresh."""
+
+    param_hash: str
+    params: dict[str, Any]
+    key: str
+    direction: str  # "higher" (throughput-like) or "lower" (latency-like)
+    baseline: float
+    fresh: float
+    change: float  # signed relative change, fresh vs baseline
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = "↓" if self.fresh < self.baseline else "↑"
+        tag = "REGRESSION" if self.regressed else "ok"
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return (
+            f"[{tag}] {self.key} ({params}): "
+            f"{self.baseline:.4g} -> {self.fresh:.4g} ({arrow}{abs(self.change):.1%})"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of comparing a fresh run against a committed baseline."""
+
+    experiment: str
+    tolerance: float
+    comparisons: list[Comparison] = field(default_factory=list)
+    missing_conditions: list[str] = field(default_factory=list)
+    new_conditions: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Comparison]:
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def passed(self) -> bool:
+        """Green iff no gated measure regressed and no baseline condition
+        disappeared (new conditions are fine — grids may grow)."""
+        return not self.regressions and not self.missing_conditions
+
+    def render(self) -> str:
+        lines = [
+            f"{self.experiment}: {len(self.comparisons)} gated measure(s) compared "
+            f"at tolerance {self.tolerance:.0%}"
+        ]
+        lines.extend("  " + comparison.describe() for comparison in self.comparisons)
+        for param_hash in self.missing_conditions:
+            lines.append(f"  [REGRESSION] baseline condition {param_hash} missing from fresh run")
+        for param_hash in self.new_conditions:
+            lines.append(f"  [new] condition {param_hash} has no baseline yet")
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def _mean_measure(condition: dict[str, Any], key: str) -> float | None:
+    """A condition's value for one measure: the mean over its rows that
+    carry the key numerically (a condition may contribute several rows)."""
+    values = []
+    for row in condition.get("rows", []):
+        value = row.get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        values.append(float(value))
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def compare_snapshots(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    keys: "dict[str, str] | None" = None,
+) -> RegressionReport:
+    """Compare *fresh* against *baseline*, gating the declared measures.
+
+    Conditions are matched by parameter hash. *keys* overrides the gated
+    measure map (measure -> direction); by default the baseline's
+    embedded ``regression`` map is used. A measure regresses when it
+    moves in its bad direction by strictly more than *tolerance*
+    (relative to the baseline value); movement in the good direction or
+    within the tolerance band passes.
+    """
+    validate_snapshot(baseline)
+    validate_snapshot(fresh)
+    if baseline["experiment"] != fresh["experiment"]:
+        raise SnapshotError(
+            f"cannot compare {fresh['experiment']!r} against a "
+            f"{baseline['experiment']!r} baseline"
+        )
+    if not 0.0 <= tolerance < 1.0:
+        raise SnapshotError(f"tolerance must be in [0, 1), got {tolerance}")
+    gated = dict(baseline.get("regression", {})) if keys is None else dict(keys)
+    report = RegressionReport(experiment=baseline["experiment"], tolerance=tolerance)
+
+    fresh_by_hash = {c["param_hash"]: c for c in fresh["conditions"]}
+    baseline_by_hash = {c["param_hash"]: c for c in baseline["conditions"]}
+    report.new_conditions = [h for h in fresh_by_hash if h not in baseline_by_hash]
+
+    for param_hash, base_condition in baseline_by_hash.items():
+        fresh_condition = fresh_by_hash.get(param_hash)
+        if fresh_condition is None:
+            report.missing_conditions.append(param_hash)
+            continue
+        for key, direction in gated.items():
+            base_value = _mean_measure(base_condition, key)
+            fresh_value = _mean_measure(fresh_condition, key)
+            if base_value is None or fresh_value is None:
+                continue
+            if base_value == 0.0:
+                change = 0.0 if fresh_value == 0.0 else float("inf")
+            else:
+                change = (fresh_value - base_value) / abs(base_value)
+            bad_move = -change if direction == "higher" else change
+            report.comparisons.append(
+                Comparison(
+                    param_hash=param_hash,
+                    params=base_condition.get("params", {}),
+                    key=key,
+                    direction=direction,
+                    baseline=base_value,
+                    fresh=fresh_value,
+                    change=change,
+                    regressed=bad_move > tolerance,
+                )
+            )
+    return report

@@ -1,0 +1,225 @@
+"""Declarative experiment specs: IV grids crossed into conditions.
+
+An :class:`ExperimentSpec` *declares* an experiment instead of scripting
+it: a grid of independent variables (each a name mapped to its levels),
+per-tier grid overrides (``smoke`` for CI, the full grid for published
+tables), fixed context, and a measurement function that receives one
+concrete condition and returns its measures. The harness — not the
+experiment — owns crossing, ordering, hashing, warm-up/repeat policy,
+metadata stamping and serialization, so every benchmark in the suite
+produces the same kind of artifact (see ``docs/benchmarking.md``).
+
+The design follows two exemplars: *experimentator*-style IV grids
+crossed into a deterministic condition list, and *versuchung*-style
+parameter hashing so a run's identity is a stable function of exactly
+its inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "Condition",
+    "ExperimentSpec",
+    "SpecError",
+    "cross_grid",
+    "param_hash",
+]
+
+#: Recognised tier names, in increasing cost order.
+TIERS = ("smoke", "full")
+
+
+class SpecError(ValueError):
+    """A malformed spec, grid or tier request."""
+
+
+def _canonical(value: Any) -> Any:
+    """Map a parameter value onto its canonical JSON form.
+
+    Tuples become lists, numpy scalars become Python scalars (via their
+    ``item()`` hook), and nested containers are converted recursively so
+    two logically identical parameter sets always serialize to the same
+    bytes regardless of how they were constructed.
+    """
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(value[key]) for key in sorted(value, key=str)}
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def param_hash(params: Mapping[str, Any]) -> str:
+    """A stable 12-hex-digit identity for one parameter assignment.
+
+    The hash is computed over the canonical JSON serialization with
+    sorted keys, so it is independent of dict insertion order, of
+    tuple-vs-list spelling, and of the process that computes it —
+    the property that lets committed snapshots be matched condition by
+    condition against a fresh run months later.
+    """
+    payload = json.dumps(_canonical(dict(params)), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def cross_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Cross a grid of IV levels into the full list of conditions.
+
+    The crossing is exhaustive (every combination appears exactly once)
+    and deterministic: factors vary in declaration order, the last
+    declared factor fastest — the order ``itertools.product`` yields for
+    the declared level sequences.
+    """
+    if not grid:
+        return [{}]
+    names = list(grid)
+    for name in names:
+        levels = grid[name]
+        if isinstance(levels, (str, bytes)) or not isinstance(levels, Sequence):
+            raise SpecError(
+                f"grid factor {name!r} must map to a sequence of levels, "
+                f"got {type(levels).__name__}"
+            )
+        if len(levels) == 0:
+            raise SpecError(f"grid factor {name!r} has no levels")
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[name] for name in names))
+    ]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One concrete cell of an experiment: a parameter assignment.
+
+    ``params`` is the merged dict of crossed IV levels plus the spec's
+    fixed parameters; ``param_hash`` is its stable identity (see
+    :func:`param_hash`).
+    """
+
+    params: dict[str, Any]
+
+    @property
+    def hash(self) -> str:
+        return param_hash(self.params)
+
+
+@dataclass
+class ExperimentSpec:
+    """A declarative benchmark experiment.
+
+    Attributes
+    ----------
+    name:
+        Registry id (``"e13"``); snapshots are named ``BENCH_<name>.json``.
+    title:
+        Human title printed above the results table.
+    grid:
+        Independent variables: factor name -> sequence of levels. The
+        *full*-tier grid; crossed exhaustively into conditions.
+    smoke:
+        Per-factor overrides applied on the smoke tier (CI-sized grids).
+        Factors absent from ``smoke`` keep their full-tier levels.
+    fixed:
+        Constant parameters merged into every condition (and hashed with
+        it, so changing a constant changes every condition's identity).
+    run:
+        The measurement function. Called once per (warm-up or measured)
+        repeat as ``run(ctx, **params)`` where ``ctx`` is the value
+        returned by ``setup`` (or ``None``); must return one measures
+        dict or a list of measures dicts (one table row each). Keys
+        starting with ``"_"`` are harness side-channels, not measures:
+        ``"_note"`` adds a table footnote, ``"_counters"`` attaches a
+        dict of backend cost counters to the condition record.
+    setup:
+        Optional per-run context builder, called once per
+        :func:`~repro.bench.runner.run_spec` invocation as
+        ``setup(tier)``. Use it for state the original scripts shared
+        across conditions (a workload fitted once, an RNG consumed
+        sequentially) so ported experiments reproduce their pre-harness
+        numbers exactly.
+    columns:
+        Table column order. Measure keys not listed are appended in
+        first-seen order; listing keeps published tables stable.
+    expectation:
+        The shape the paper predicts — printed with every table.
+    notes:
+        Static footnotes (dynamic ones come from ``"_note"``).
+    warmup / repeats:
+        Harness-level repeat policy: each condition is executed
+        ``warmup`` unmeasured times, then ``repeats`` measured times;
+        numeric measures are aggregated by median, wall/CPU time by
+        minimum. Specs that time internally keep the defaults (0/1).
+    regression:
+        Gated measures for the CI snapshot comparator: measure key ->
+        ``"higher"`` (throughput-like, regression = drop) or ``"lower"``
+        (latency-like, regression = rise). Empty means the spec is
+        tracked but never gates.
+    """
+
+    name: str
+    title: str
+    run: Callable[..., Any]
+    grid: dict[str, Sequence[Any]] = field(default_factory=dict)
+    smoke: dict[str, Sequence[Any]] = field(default_factory=dict)
+    fixed: dict[str, Any] = field(default_factory=dict)
+    setup: Callable[[str], Any] | None = None
+    columns: list[str] = field(default_factory=list)
+    expectation: str = ""
+    notes: list[str] = field(default_factory=list)
+    warmup: int = 0
+    repeats: int = 1
+    regression: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("a spec needs a non-empty name")
+        if self.warmup < 0 or self.repeats < 1:
+            raise SpecError(
+                f"spec {self.name!r}: warmup must be >= 0 and repeats >= 1, "
+                f"got warmup={self.warmup}, repeats={self.repeats}"
+            )
+        unknown = set(self.smoke) - set(self.grid)
+        if unknown:
+            raise SpecError(
+                f"spec {self.name!r}: smoke overrides unknown factors {sorted(unknown)}"
+            )
+        overlap = set(self.grid) & set(self.fixed)
+        if overlap:
+            raise SpecError(
+                f"spec {self.name!r}: {sorted(overlap)} appear in both grid and fixed"
+            )
+        bad = {k: v for k, v in self.regression.items() if v not in ("higher", "lower")}
+        if bad:
+            raise SpecError(
+                f"spec {self.name!r}: regression directions must be "
+                f"'higher' or 'lower', got {bad}"
+            )
+
+    # ------------------------------------------------------------------
+    def tier_grid(self, tier: str) -> dict[str, Sequence[Any]]:
+        """The effective grid at *tier* (smoke overrides applied)."""
+        if tier not in TIERS:
+            raise SpecError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        if tier == "full":
+            return dict(self.grid)
+        return {name: self.smoke.get(name, levels) for name, levels in self.grid.items()}
+
+    def conditions(self, tier: str = "smoke") -> list[Condition]:
+        """The exhaustive, deterministically ordered condition list."""
+        return [
+            Condition(params={**assignment, **self.fixed})
+            for assignment in cross_grid(self.tier_grid(tier))
+        ]

@@ -1,8 +1,12 @@
-"""Shared workload construction for the experiment suite.
+"""Shared workload construction for the experiment and benchmark suite.
 
-Centralising dataset/query construction keeps every experiment (and its
-pytest-benchmark twin) on *identical* inputs, so numbers in
-EXPERIMENTS.md can be regenerated exactly.
+This module is the single source of truth for dataset-generation
+defaults: the E-series planted workloads, the standard miner
+configuration, the traffic-shaped batch targets (E12), the random
+level-mask batches (E13), and the fixed setups behind the
+pytest-benchmark twins in ``benchmarks/``. Centralising them keeps
+every experiment spec, benchmark script and fixture on *identical*
+inputs, so published table values can be regenerated exactly.
 """
 
 from __future__ import annotations
@@ -14,11 +18,26 @@ import numpy as np
 from repro.core.miner import HOSMiner
 from repro.data.synthetic import Dataset, make_planted_outliers
 
-__all__ = ["Workload", "planted_workload", "standard_miner"]
+__all__ = [
+    "SEED",
+    "E13_SEED",
+    "Workload",
+    "planted_workload",
+    "standard_miner",
+    "standard_workload_d10",
+    "uniform_16d",
+    "make_traffic",
+    "make_level_masks",
+    "small_batch_setup",
+    "kernel_cell_setup",
+]
 
 #: Seed base for every experiment workload; per-config offsets keep
 #: configurations independent but reproducible.
 SEED = 20040830  # VLDB 2004 opened on 30 Aug 2004.
+
+#: Seed for the E13 kernel microbenchmark (E-series offset convention).
+E13_SEED = SEED + 13
 
 
 @dataclass(slots=True)
@@ -84,3 +103,102 @@ def standard_miner(
         **overrides,
     )
     return miner.fit(workload.dataset.X)
+
+
+# ----------------------------------------------------------------------
+# Fixture-grade defaults (shared with benchmarks/conftest.py)
+# ----------------------------------------------------------------------
+def standard_workload_d10() -> Workload:
+    """The canonical fixture workload: n=1000, d=10, planted outliers."""
+    return planted_workload(n=1000, d=10, seed_offset=0)
+
+
+def uniform_16d() -> np.ndarray:
+    """Uniform high-d data — the X-tree supernode regime."""
+    return np.random.default_rng(8).uniform(size=(2000, 16))
+
+
+# ----------------------------------------------------------------------
+# E12 — traffic-shaped batch targets
+# ----------------------------------------------------------------------
+def make_traffic(workload: Workload, m: int, hot_fraction: float = 0.3) -> list:
+    """A traffic-shaped target list: rows, external points, repeats.
+
+    Production query streams are Zipf-heavy — a small set of hot points
+    accounts for a disproportionate share of requests. Here roughly
+    ``hot_fraction`` of the batch re-queries a small hot set (rows and
+    external points alike), the planted outliers are queried (the
+    expensive searches real monitoring traffic cares about), and the
+    rest are unique rows and fresh external points near the manifold.
+    """
+    X = workload.dataset.X
+    n, d = X.shape
+    rng = np.random.default_rng(SEED + 4242)
+    targets: list = list(workload.query_rows)
+
+    hot_rows = [int(row) for row in rng.choice(n, size=4, replace=False)]
+    hot_points = list(
+        X[rng.choice(n, size=4, replace=False)]
+        + rng.normal(scale=0.05, size=(4, d))
+    )
+    # The planted outliers belong in the hot set: monitoring traffic
+    # re-polls exactly the entities it has flagged, and those are the
+    # expensive (eval-heavy) searches.
+    hot_pool = list(workload.query_rows) + hot_rows + hot_points
+    while len(targets) < m:
+        draw = rng.random()
+        if draw < hot_fraction:
+            targets.append(hot_pool[int(rng.integers(len(hot_pool)))])
+        elif draw < 0.5 + hot_fraction / 2:
+            targets.append(int(rng.integers(n)))
+        else:
+            base = X[int(rng.integers(n))] + rng.normal(scale=0.05, size=d)
+            targets.append(base)
+    return targets[:m]
+
+
+def small_batch_setup():
+    """The E12 pytest-benchmark twin setup: a small fixed batch.
+
+    Returns ``(miner, targets)`` for 64 traffic-shaped queries on an
+    n=600, d=8 workload — big enough to exercise the batch engine,
+    small enough for per-round benchmark timing.
+    """
+    workload = planted_workload(n=600, d=8, seed_offset=12)
+    miner = standard_miner(workload, threshold_quantile=0.9)
+    targets = make_traffic(workload, 64)
+    return miner, targets
+
+
+# ----------------------------------------------------------------------
+# E13 — level-wide kernel inputs
+# ----------------------------------------------------------------------
+def make_level_masks(rng: np.random.Generator, d: int, width: int) -> list[np.ndarray]:
+    """A level-ish batch of *width* random subspace masks over ``d`` dims.
+
+    Real rounds mix levels (different searches expand different levels),
+    so widths beyond one level's worth draw masks of every size — the
+    kernel's cost depends on ``(n, d, width)``, not on which masks.
+    """
+    masks = []
+    for _ in range(width):
+        size = int(rng.integers(1, d + 1))
+        masks.append(np.sort(rng.choice(d, size=size, replace=False)).astype(np.intp))
+    return masks
+
+
+def kernel_cell_setup(n: int = 2000, d: int = 12, width: int = 64):
+    """The E13 pytest-benchmark twin setup: one representative kernel cell.
+
+    Returns ``(backend, query, masks, components)`` drawn with the E13
+    seed, matching one cell of the full sweep.
+    """
+    from repro.index.linear import LinearScanIndex
+
+    rng = np.random.default_rng(E13_SEED)
+    X = rng.normal(size=(n, d))
+    query = rng.normal(size=d)
+    backend = LinearScanIndex(X)
+    masks = make_level_masks(rng, d, width)
+    components = backend.distance_components(query)
+    return backend, query, masks, components

@@ -17,9 +17,18 @@ Subcommands
     of a second query CSV, or both; ``--workers`` fans the batch out to
     worker processes.
 ``experiment``
-    Run one (or all) of the DESIGN.md experiments and print its table;
-    ``--full`` uses the complete parameter grids, ``--save`` writes the
-    JSON artefact under ``results/``.
+    Run one (or all) of the paper-table experiments (f1, e0–e11) and
+    print its table; ``--full`` uses the complete parameter grids,
+    ``--save`` writes the JSON artefact under ``results/``.
+``bench``
+    Run any benchmark spec by name through the declarative harness
+    (``docs/benchmarking.md``): prints the table, writes the canonical
+    ``BENCH_<name>.json`` snapshot, and with ``--check`` compares the
+    fresh run against a committed baseline, exiting non-zero when a
+    gated measure regresses beyond the tolerance (the CI perf gate).
+
+The console script is installed under two names: ``hos-miner`` and
+``repro`` (so ``repro bench e13`` reads naturally).
 
 Examples::
 
@@ -29,6 +38,10 @@ Examples::
     hos-miner batch data.csv --queries new_points.csv --workers 4
     hos-miner batch data.csv --all-rows --explain
     hos-miner experiment e1 --full --save
+    repro bench --list
+    repro bench e13                      # smoke tier, writes BENCH_e13.json
+    repro bench e12 --tier full
+    repro bench e13 --check --out fresh.json   # CI regression gate
 """
 
 from __future__ import annotations
@@ -36,7 +49,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.bench import ALL_SPECS
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.snapshot import DEFAULT_TOLERANCE
 from repro.core.exceptions import HOSMinerError
 from repro.core.miner import HOSMiner
 from repro.data.loaders import load_athletes, load_csv, load_patients
@@ -161,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     experiment = subparsers.add_parser(
-        "experiment", help="run an experiment from the DESIGN.md index"
+        "experiment", help="run a paper-table experiment (f1, e0-e11)"
     )
     experiment.add_argument(
         "id", choices=sorted(ALL_EXPERIMENTS) + ["all"], help="experiment id, or 'all'"
@@ -171,6 +186,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--save", action="store_true", help="write results/<id>.json"
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="run a benchmark spec through the declarative harness"
+    )
+    bench.add_argument(
+        "name",
+        nargs="?",
+        choices=sorted(ALL_SPECS) + ["all"],
+        help="spec name (see --list), or 'all'",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list the available specs and exit"
+    )
+    bench.add_argument(
+        "--tier", choices=["smoke", "full"], default="smoke",
+        help="grid tier (default smoke — the CI-sized grids the committed "
+        "baselines were recorded at)",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="snapshot output path (default BENCH_<name>.json in the current "
+        "directory; only valid with a single spec)",
+    )
+    bench.add_argument(
+        "--no-save", action="store_true", help="do not write a snapshot"
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare the fresh run against the committed baseline and exit "
+        "non-zero when a gated measure regresses beyond the tolerance",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline snapshot for --check (default BENCH_<name>.json in the "
+        "current directory; only valid with a single spec)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"allowed relative regression for --check (default {DEFAULT_TOLERANCE})",
     )
     return parser
 
@@ -319,6 +374,57 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_spec
+    from repro.bench.snapshot import (
+        SnapshotError,
+        compare_snapshots,
+        load_snapshot,
+        save_snapshot,
+        snapshot_path,
+    )
+
+    if args.list:
+        width = max(len(name) for name in ALL_SPECS)
+        for name in sorted(ALL_SPECS):
+            spec = ALL_SPECS[name]
+            gated = ",".join(sorted(spec.regression)) or "-"
+            print(f"{name:<{width}}  {spec.title}  [gated: {gated}]")
+        return 0
+    if args.name is None:
+        print("error: pass a spec name (or --list)", file=sys.stderr)
+        return 2
+    names = sorted(ALL_SPECS) if args.name == "all" else [args.name]
+    if len(names) > 1 and (args.out or args.baseline):
+        print("error: --out/--baseline need a single spec name", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in names:
+        spec = ALL_SPECS[name]
+        baseline = None
+        if args.check:
+            # Load before writing: --out may point at the baseline itself.
+            baseline_path = args.baseline or snapshot_path(name)
+            try:
+                baseline = load_snapshot(baseline_path)
+            except SnapshotError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        result = run_spec(spec, tier=args.tier)
+        result.to_experiment().print()
+        snapshot = result.to_snapshot()
+        if not args.no_save:
+            path = save_snapshot(snapshot, args.out or snapshot_path(name))
+            print(f"saved {path}")
+        if baseline is not None:
+            report = compare_snapshots(baseline, snapshot, tolerance=args.tolerance)
+            print(report.render())
+            if not report.passed:
+                failed = True
+    return 1 if failed else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -333,6 +439,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _run_batch(args)
         if args.command == "experiment":
             return _run_experiment(args)
+        if args.command == "bench":
+            return _run_bench(args)
     except HOSMinerError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -2,8 +2,8 @@
 
 The paper demos on real datasets we cannot redistribute (and its two
 motivating applications — athlete training analysis and medical
-screening — reference proprietary data). Per the substitution policy in
-DESIGN.md, these loaders generate *fixed, seeded* datasets with the same
+screening — reference proprietary data). As substitutes, these loaders
+generate *fixed, seeded* datasets with the same
 shape as those applications: named features, one dominant "normal"
 population, and a handful of individuals who deviate only in specific
 feature subsets. Every call returns byte-identical data, so examples

@@ -4,8 +4,8 @@ The reference backend: exact, simple, and — thanks to numpy — usually
 the fastest option in pure Python for the dataset sizes of the 2004
 demo. The tree backends are benched against it in experiment E8 on
 logical-I/O metrics, where they win; on raw wall-time the scan wins
-because its inner loop is C. Both facts are reported honestly in
-EXPERIMENTS.md.
+because its inner loop is C. Both facts show up honestly in the E8
+table (``repro bench e8``).
 
 Cost accounting mirrors a sequential scan of a disk-resident file: one
 node access per :data:`BLOCK_ROWS` rows touched plus one distance

@@ -12,7 +12,7 @@ three-way decision on directory overflow:
    the *split history* to locate such a dimension cheaply; we scan all
    dimensions exhaustively, which finds an overlap-minimal balanced
    split whenever one exists (a complete decision procedure for the
-   same rule — see DESIGN.md, substitutions);
+   same rule);
 3. if the minimal split would be unbalanced (one side under
    ``min_fanout``), **do not split**: extend the node into a
    **supernode** spanning one more block.

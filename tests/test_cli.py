@@ -142,6 +142,69 @@ class TestCommands:
         assert "columns" in capsys.readouterr().err
 
 
+class TestBenchCommand:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("e0", "e11", "e12", "e13", "f1"):
+            assert name in out
+        assert "[gated: fused_speedup,speedup]" in out  # e13's gate
+
+    def test_bench_requires_name(self, capsys):
+        assert main(["bench"]) == 2
+        assert "spec name" in capsys.readouterr().err
+
+    def test_bench_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "e99"])
+
+    def test_bench_out_needs_single_spec(self, capsys):
+        assert main(["bench", "all", "--out", "x.json"]) == 2
+        assert "single spec" in capsys.readouterr().err
+
+    def test_bench_run_saves_canonical_snapshot(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "e0"]) == 0
+        out = capsys.readouterr().out
+        assert "Saving factors" in out and "saved" in out
+        snapshot = (tmp_path / "BENCH_e0.json").read_text()
+        assert '"experiment": "e0"' in snapshot
+
+    def test_bench_no_save(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "e0", "--no-save"]) == 0
+        assert not (tmp_path / "BENCH_e0.json").exists()
+
+    def test_bench_check_passes_against_fresh_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "e0"]) == 0
+        # e0 is deterministic, so a re-run can never regress.
+        assert main(["bench", "e0", "--check", "--no-save"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bench_check_missing_baseline_errors(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "e0", "--check", "--no-save"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_check_out_may_overwrite_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "BENCH_e0.json"
+        assert main(["bench", "e0"]) == 0
+        before = baseline.read_text()
+        code = main(
+            ["bench", "e0", "--check",
+             "--baseline", str(baseline), "--out", str(baseline)]
+        )
+        assert code == 0  # compared against the pre-overwrite contents
+        assert "PASS" in capsys.readouterr().out
+        assert baseline.exists() and baseline.read_text() != before  # timestamp
+
+
 class TestSearchBudget:
     def test_budget_raises_loudly(self):
         import numpy as np

@@ -1,9 +1,10 @@
 """Reproduction guards: the paper's claimed *shapes*, pinned as tests.
 
-EXPERIMENTS.md records measured tables; these tests assert the shapes
-those tables must keep showing (who wins, what grows, what shrinks) on
-the fast grids, so a regression in any module that silently broke a
-reproduced claim fails CI rather than only changing a markdown file.
+The bench specs (``repro bench``) print measured tables; these tests
+assert the shapes those tables must keep showing (who wins, what grows,
+what shrinks) on the fast grids, so a regression in any module that
+silently broke a reproduced claim fails CI rather than only changing a
+printed table.
 """
 
 from __future__ import annotations

@@ -1,0 +1,368 @@
+"""Declarative experiment harness: specs, runner, snapshots, regression gate.
+
+Covers the contracts docs/benchmarking.md promises: exhaustive and
+deterministic condition crossing, stable parameter hashes, snapshot
+schema round-trips, and a regression comparator that flags a real 20%
+slowdown while letting 5% machine jitter through.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import SCHEMA_VERSION, run_metadata, run_spec
+from repro.bench.snapshot import (
+    DEFAULT_TOLERANCE,
+    SnapshotError,
+    compare_snapshots,
+    load_snapshot,
+    save_snapshot,
+    snapshot_path,
+    validate_snapshot,
+)
+from repro.bench.spec import (
+    Condition,
+    ExperimentSpec,
+    SpecError,
+    cross_grid,
+    param_hash,
+)
+
+
+# ----------------------------------------------------------------------
+# Grid crossing and parameter hashing
+# ----------------------------------------------------------------------
+class TestCrossGrid:
+    def test_exhaustive(self):
+        grid = {"a": (1, 2, 3), "b": ("x", "y")}
+        assignments = cross_grid(grid)
+        assert len(assignments) == 6
+        assert {(a["a"], a["b"]) for a in assignments} == {
+            (a, b) for a in (1, 2, 3) for b in ("x", "y")
+        }
+
+    def test_deterministic_order_last_factor_fastest(self):
+        grid = {"a": (1, 2), "b": ("x", "y")}
+        pairs = [(a["a"], a["b"]) for a in cross_grid(grid)]
+        assert pairs == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(SpecError):
+            cross_grid({"a": ()})
+
+
+class TestParamHash:
+    def test_stable_across_insertion_order(self):
+        assert param_hash({"a": 1, "b": 2}) == param_hash({"b": 2, "a": 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert param_hash({"cell": (1, 2, 3)}) == param_hash({"cell": [1, 2, 3]})
+
+    def test_numpy_scalars_normalised(self):
+        np = pytest.importorskip("numpy")
+        assert param_hash({"n": np.int64(5)}) == param_hash({"n": 5})
+
+    def test_distinct_params_distinct_hash(self):
+        assert param_hash({"n": 1}) != param_hash({"n": 2})
+
+    def test_shape(self):
+        digest = param_hash({"n": 1})
+        assert len(digest) == 12
+        int(digest, 16)  # valid hex
+
+    def test_condition_carries_hash(self):
+        condition = Condition(params={"n": 1})
+        assert condition.hash == param_hash({"n": 1})
+
+
+# ----------------------------------------------------------------------
+# Spec validation and tier grids
+# ----------------------------------------------------------------------
+def _spec(**overrides):
+    kwargs = dict(
+        name="toy",
+        title="Toy spec",
+        grid={"n": (1, 2)},
+        run=lambda ctx, n: {"n": n, "value": n * 10},
+        columns=["n", "value"],
+        expectation="value is 10n",
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_smoke_key_must_exist_in_grid(self):
+        with pytest.raises(SpecError):
+            _spec(smoke={"m": (1,)})
+
+    def test_grid_and_fixed_disjoint(self):
+        with pytest.raises(SpecError):
+            _spec(fixed={"n": 3})
+
+    def test_bad_regression_direction(self):
+        with pytest.raises(SpecError):
+            _spec(regression={"value": "sideways"})
+
+    def test_warmup_and_repeats_bounds(self):
+        with pytest.raises(SpecError):
+            _spec(warmup=-1)
+        with pytest.raises(SpecError):
+            _spec(repeats=0)
+
+    def test_tier_grid_smoke_overrides_per_factor(self):
+        spec = _spec(grid={"n": (1, 2, 3), "m": (4, 5)}, smoke={"n": (1,)})
+        assert spec.tier_grid("full") == {"n": (1, 2, 3), "m": (4, 5)}
+        assert spec.tier_grid("smoke") == {"n": (1,), "m": (4, 5)}
+
+    def test_conditions_merge_fixed(self):
+        spec = _spec(fixed={"k": 5})
+        params = [c.params for c in spec.conditions("full")]
+        assert params == [{"n": 1, "k": 5}, {"n": 2, "k": 5}]
+
+
+# ----------------------------------------------------------------------
+# Runner: execution, repeats, aggregation
+# ----------------------------------------------------------------------
+class TestRunSpec:
+    def test_runs_every_condition_in_order(self):
+        result = run_spec(_spec(), tier="full")
+        assert [r["n"] for r in result.rows()] == [1, 2]
+        assert [r["value"] for r in result.rows()] == [10, 20]
+
+    def test_setup_called_once_and_threaded_through(self):
+        calls = []
+
+        def setup(tier):
+            calls.append(tier)
+            return {"base": 100}
+
+        spec = _spec(
+            setup=setup,
+            run=lambda ctx, n: {"n": n, "value": ctx["base"] + n},
+        )
+        result = run_spec(spec, tier="smoke")
+        assert calls == ["smoke"]
+        assert [r["value"] for r in result.rows()] == [101, 102]
+
+    def test_warmup_runs_unmeasured(self):
+        count = {"runs": 0}
+
+        def run(ctx, n):
+            count["runs"] += 1
+            return {"n": n, "value": 1}
+
+        run_spec(_spec(run=run, grid={"n": (1,)}, warmup=2, repeats=3), tier="full")
+        assert count["runs"] == 5  # 2 warmup + 3 measured
+
+    def test_repeats_aggregate_by_median(self):
+        values = iter([10.0, 30.0, 20.0])
+
+        def run(ctx, n):
+            return {"n": n, "value": next(values)}
+
+        result = run_spec(_spec(run=run, grid={"n": (1,)}, repeats=3), tier="full")
+        assert result.rows()[0]["value"] == 20.0
+
+    def test_median_preserves_int_columns(self):
+        values = iter([10, 30, 20])
+
+        def run(ctx, n):
+            return {"n": n, "hits": next(values)}
+
+        spec = _spec(run=run, grid={"n": (1,)}, columns=["n", "hits"], repeats=3)
+        hits = run_spec(spec, tier="full").rows()[0]["hits"]
+        assert hits == 20 and isinstance(hits, int)
+
+    def test_multi_row_conditions(self):
+        spec = _spec(
+            run=lambda ctx, n: [{"n": n, "side": "a"}, {"n": n, "side": "b"}],
+            columns=["n", "side"],
+        )
+        rows = run_spec(spec, tier="full").rows()
+        assert [(r["n"], r["side"]) for r in rows] == [
+            (1, "a"), (1, "b"), (2, "a"), (2, "b"),
+        ]
+
+    def test_note_side_channel_deduped(self):
+        spec = _spec(
+            run=lambda ctx, n: {"n": n, "value": n, "_note": "shared footnote"}
+        )
+        experiment = run_spec(spec, tier="full").to_experiment()
+        assert experiment.notes.count("shared footnote") == 1
+
+    def test_counters_from_last_measured_repeat(self):
+        ticks = {"i": 0}
+
+        def run(ctx, n):
+            ticks["i"] += 1
+            return {"n": n, "value": 1, "_counters": {"gathers": ticks["i"]}}
+
+        spec = _spec(run=run, grid={"n": (1,)}, repeats=3)
+        record = run_spec(spec, tier="full").conditions[0]
+        assert record.counters == {"gathers": 3}
+
+
+class TestSnapshotShape:
+    def test_to_snapshot_schema(self):
+        snapshot = run_spec(_spec(), tier="smoke").to_snapshot()
+        validate_snapshot(snapshot)
+        assert snapshot["schema_version"] == SCHEMA_VERSION
+        assert snapshot["experiment"] == "toy"
+        assert snapshot["tier"] == "smoke"
+        assert len(snapshot["conditions"]) == 2
+        condition = snapshot["conditions"][0]
+        assert condition["param_hash"] == param_hash(condition["params"])
+        assert condition["wall_time_s"] >= 0.0
+
+    def test_metadata_fields(self):
+        metadata = run_metadata(_spec(), tier="smoke")
+        for key in ("git_sha", "python", "numpy", "blas", "timestamp", "tier"):
+            assert key in metadata
+
+    def test_save_load_round_trip(self, tmp_path):
+        snapshot = run_spec(_spec(), tier="smoke").to_snapshot()
+        path = save_snapshot(snapshot, tmp_path / "BENCH_toy.json")
+        assert load_snapshot(path) == snapshot
+
+    def test_snapshot_path_convention(self):
+        assert str(snapshot_path("e13")).endswith("BENCH_e13.json")
+
+    def test_snapshot_json_is_canonical(self, tmp_path):
+        snapshot = run_spec(_spec(), tier="smoke").to_snapshot()
+        path = save_snapshot(snapshot, tmp_path / "BENCH_toy.json")
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+    def test_validate_rejects_missing_keys(self):
+        with pytest.raises(SnapshotError):
+            validate_snapshot({"schema_version": SCHEMA_VERSION})
+
+    def test_validate_rejects_future_schema(self):
+        snapshot = run_spec(_spec(), tier="smoke").to_snapshot()
+        snapshot["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SnapshotError):
+            validate_snapshot(snapshot)
+
+    def test_validate_rejects_duplicate_conditions(self):
+        snapshot = run_spec(_spec(), tier="smoke").to_snapshot()
+        snapshot["conditions"].append(snapshot["conditions"][0])
+        with pytest.raises(SnapshotError):
+            validate_snapshot(snapshot)
+
+
+# ----------------------------------------------------------------------
+# Regression comparator
+# ----------------------------------------------------------------------
+def _gated_snapshot(speedups, *, direction="higher", measure="speedup"):
+    """A minimal valid snapshot with one gated measure per condition."""
+    spec = ExperimentSpec(
+        name="gate",
+        title="Gate fixture",
+        grid={"n": tuple(range(len(speedups)))},
+        run=lambda ctx, n: {"n": n, measure: speedups[n]},
+        columns=["n", measure],
+        expectation="fixture",
+        regression={measure: direction},
+    )
+    return run_spec(spec, tier="full").to_snapshot()
+
+
+class TestCompareSnapshots:
+    def test_flags_twenty_percent_slowdown(self):
+        baseline = _gated_snapshot([4.0])
+        fresh = _gated_snapshot([3.2])  # -20%
+        report = compare_snapshots(baseline, fresh)
+        assert not report.passed
+        assert len(report.regressions) == 1
+        assert "speedup" in report.regressions[0].describe()
+
+    def test_passes_five_percent_jitter(self):
+        baseline = _gated_snapshot([4.0])
+        for jittered in ([3.8], [4.2]):  # ±5%
+            report = compare_snapshots(baseline, _gated_snapshot(jittered))
+            assert report.passed
+
+    def test_improvement_never_fails(self):
+        report = compare_snapshots(_gated_snapshot([4.0]), _gated_snapshot([8.0]))
+        assert report.passed
+
+    def test_lower_direction_flags_increase(self):
+        baseline = _gated_snapshot([10.0], direction="lower", measure="latency_ms")
+        fresh = _gated_snapshot([12.5], direction="lower", measure="latency_ms")
+        report = compare_snapshots(baseline, fresh)
+        assert not report.passed
+
+    def test_lower_direction_passes_decrease(self):
+        baseline = _gated_snapshot([10.0], direction="lower", measure="latency_ms")
+        fresh = _gated_snapshot([7.0], direction="lower", measure="latency_ms")
+        assert compare_snapshots(baseline, fresh).passed
+
+    def test_missing_baseline_condition_fails(self):
+        baseline = _gated_snapshot([4.0, 4.0])
+        fresh = _gated_snapshot([4.0])
+        report = compare_snapshots(baseline, fresh)
+        assert not report.passed
+
+    def test_new_condition_passes(self):
+        baseline = _gated_snapshot([4.0])
+        fresh = _gated_snapshot([4.0, 4.0])
+        assert compare_snapshots(baseline, fresh).passed
+
+    def test_custom_tolerance(self):
+        baseline = _gated_snapshot([4.0])
+        fresh = _gated_snapshot([3.2])  # -20%
+        assert compare_snapshots(baseline, fresh, tolerance=0.25).passed
+        assert not compare_snapshots(baseline, fresh, tolerance=0.15).passed
+
+    def test_tolerance_bounds(self):
+        baseline = _gated_snapshot([4.0])
+        with pytest.raises(SnapshotError):
+            compare_snapshots(baseline, baseline, tolerance=1.0)
+        with pytest.raises(SnapshotError):
+            compare_snapshots(baseline, baseline, tolerance=-0.1)
+
+    def test_mismatched_experiments_rejected(self):
+        baseline = _gated_snapshot([4.0])
+        other = dict(baseline, experiment="different")
+        with pytest.raises(SnapshotError):
+            compare_snapshots(baseline, other)
+
+    def test_default_tolerance_is_fifteen_percent(self):
+        assert DEFAULT_TOLERANCE == pytest.approx(0.15)
+
+    def test_report_render_ends_with_verdict(self):
+        baseline = _gated_snapshot([4.0])
+        assert compare_snapshots(baseline, baseline).render().endswith("PASS")
+        report = compare_snapshots(baseline, _gated_snapshot([1.0]))
+        assert report.render().endswith("FAIL")
+
+
+# ----------------------------------------------------------------------
+# Committed baselines stay loadable and coherent with their specs
+# ----------------------------------------------------------------------
+class TestCommittedBaselines:
+    @pytest.mark.parametrize("name", ["e12", "e13"])
+    def test_committed_snapshot_matches_spec(self, name):
+        from pathlib import Path
+
+        from repro.bench import ALL_SPECS
+
+        path = Path(__file__).resolve().parents[1] / f"BENCH_{name}.json"
+        snapshot = load_snapshot(path)
+        assert snapshot["experiment"] == name
+        assert snapshot["tier"] == "smoke"
+        spec = ALL_SPECS[name]
+        committed = {c["param_hash"] for c in snapshot["conditions"]}
+        declared = {c.hash for c in spec.conditions("smoke")}
+        assert committed == declared, (
+            "committed baseline no longer matches the spec's smoke grid — "
+            f"regenerate with `repro bench {name}`"
+        )
+        for measure in spec.regression:
+            assert any(
+                measure in row for c in snapshot["conditions"] for row in c["rows"]
+            )
