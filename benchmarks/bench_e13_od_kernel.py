@@ -51,6 +51,26 @@ def test_benchmark_od_kernel_gemm(benchmark):
     assert result.shape == (64,)
 
 
+def test_benchmark_od_kernel_gemm_float32(benchmark):
+    """Time the same 64 sums through the float32 GEMM tier."""
+    from repro.index.base import components32_from
+
+    backend, query, masks, components = kernel_cell_setup()
+    components32 = components32_from(components)
+    result = benchmark(
+        lambda: backend.knn_distance_sums(
+            query,
+            5,
+            masks,
+            components=components,
+            kernel="gemm",
+            precision="float32",
+            components32=components32,
+        )
+    )
+    assert result.shape == (64,)
+
+
 # ----------------------------------------------------------------------
 def main() -> None:
     run_script(E13_SPEC, default_tier="full")

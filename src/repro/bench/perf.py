@@ -1,18 +1,21 @@
-"""End-to-end performance specs: E12 (batch engine) and E13 (OD kernel).
+"""End-to-end performance specs: E12 (batch engine), E13 (OD kernel)
+and E14 (memory ceiling).
 
 Unlike the paper-table experiments in :mod:`repro.bench.experiments`,
-these two specs track the repo's own performance trajectory: their
+these specs track the repo's own performance trajectory: their
 smoke-tier snapshots are committed at the repo root as
-``BENCH_e12.json`` / ``BENCH_e13.json`` and CI re-runs them on every
-push, failing when a gated measure regresses by more than 15%
-(:func:`repro.bench.snapshot.compare_snapshots`).
+``BENCH_e12.json`` / ``BENCH_e13.json`` / ``BENCH_e14.json`` and CI
+re-runs them on every push, failing when a gated measure regresses by
+more than 15% (:func:`repro.bench.snapshot.compare_snapshots`).
 
-Only *machine-relative* ratios are gated — E12's ``speedup`` (batched
-vs sequential wall time) and E13's ``speedup``/``fused_speedup`` (GEMM
-vs exact kernel) — because a committed baseline travels across
-heterogeneous runners where absolute queries/sec mean nothing. The
-absolute throughput and latency columns are recorded in every snapshot
-for the trajectory, but never gate.
+Only *machine-relative* ratios and deterministic byte counts are gated
+— E12's ``speedup`` (batched vs sequential wall time), E13's
+``speedup``/``fused_speedup``/``f32_speedup`` (GEMM vs exact kernel;
+float32 vs float64 GEMM) and E14's ``peak_blocked_mb`` (the blocked
+kernel's intermediate footprint, exact bytes) — because a committed
+baseline travels across heterogeneous runners where absolute
+queries/sec mean nothing. The absolute throughput and latency columns
+are recorded in every snapshot for the trajectory, but never gate.
 """
 
 from __future__ import annotations
@@ -24,14 +27,24 @@ import numpy as np
 from repro.bench.spec import ExperimentSpec
 from repro.bench.workloads import (
     E13_SEED,
+    E14_SEED,
     make_level_masks,
     make_traffic,
     planted_workload,
     standard_miner,
 )
+from repro.index.base import components32_from
 from repro.index.linear import LinearScanIndex
 
-__all__ = ["E12_SPEC", "E13_SPEC", "PERF_SPECS", "run_batch_cell", "run_kernel_cell"]
+__all__ = [
+    "E12_SPEC",
+    "E13_SPEC",
+    "E14_SPEC",
+    "PERF_SPECS",
+    "run_batch_cell",
+    "run_kernel_cell",
+    "run_memory_cell",
+]
 
 
 # ----------------------------------------------------------------------
@@ -141,13 +154,18 @@ def _time_kernel(fn, reps: int) -> float:
 
 
 def run_kernel_cell(n: int, d: int, width: int, k: int = 5, reps: int = 7) -> dict:
-    """Time the exact, GEMM and fused OD kernels on one (n, d, width) cell."""
+    """Time the exact, GEMM (both precision tiers) and fused OD kernels
+    on one (n, d, width) cell."""
     rng = np.random.default_rng(E13_SEED)
     X = rng.normal(size=(n, d))
     query = rng.normal(size=d)
     backend = LinearScanIndex(X)
     masks = make_level_masks(rng, d, width)
     components = backend.distance_components(query)
+    # Pre-transposed float32 copy, amortised across searches in the real
+    # pipeline (the ODEvaluator caches it per query) — so the timed loop
+    # measures the kernel, not the one-off cast.
+    components32 = components32_from(components)
 
     exact_s = _time_kernel(
         lambda: backend.knn_distance_sums(
@@ -158,6 +176,18 @@ def run_kernel_cell(n: int, d: int, width: int, k: int = 5, reps: int = 7) -> di
     gemm_s = _time_kernel(
         lambda: backend.knn_distance_sums(
             query, k, masks, components=components, kernel="gemm"
+        ),
+        reps,
+    )
+    gemm32_s = _time_kernel(
+        lambda: backend.knn_distance_sums(
+            query,
+            k,
+            masks,
+            components=components,
+            kernel="gemm",
+            precision="float32",
+            components32=components32,
         ),
         reps,
     )
@@ -182,7 +212,19 @@ def run_kernel_cell(n: int, d: int, width: int, k: int = 5, reps: int = 7) -> di
     gemm = backend.knn_distance_sums(
         query, k, masks, components=components, kernel="gemm"
     )
+    gemm32 = backend.knn_distance_sums(
+        query,
+        k,
+        masks,
+        components=components,
+        kernel="gemm",
+        precision="float32",
+        components32=components32,
+    )
     max_rel_err = float(np.max(np.abs(gemm - exact) / np.maximum(np.abs(exact), 1e-300)))
+    max_rel_err32 = float(
+        np.max(np.abs(gemm32 - exact) / np.maximum(np.abs(exact), 1e-300))
+    )
 
     return {
         "n": n,
@@ -191,10 +233,13 @@ def run_kernel_cell(n: int, d: int, width: int, k: int = 5, reps: int = 7) -> di
         "k": k,
         "exact_ms": exact_s * 1e3,
         "gemm_ms": gemm_s * 1e3,
+        "gemm32_ms": gemm32_s * 1e3,
         "fused_ms_per_query": fused_s * 1e3,
         "speedup": exact_s / gemm_s,
         "fused_speedup": exact_s / fused_s,
+        "f32_speedup": gemm_s / gemm32_s,
         "max_rel_err": max_rel_err,
+        "max_rel_err32": max_rel_err32,
         "_counters": backend.stats.snapshot(),
     }
 
@@ -206,11 +251,12 @@ def _e13_run(ctx, n: int, d: int, width: int, k: int, reps: int) -> dict:
 E13_SPEC = ExperimentSpec(
     name="e13",
     title="Level-wide GEMM OD kernel vs exact per-mask loop (linear backend)",
-    # reps is tier-dependent: the smoke tier feeds the CI regression gate,
-    # and its sub-millisecond cells need 25 internal reps per timing for a
-    # stable speedup ratio; the full tier keeps the published 7.
+    # reps is tier-dependent: the smoke tier feeds the CI regression gate
+    # and uses cells large enough that the float32 tier's sgemm advantage
+    # is well clear of the 15% gate (small cells are BLAS-dispatch bound
+    # and show no dtype separation); the full tier keeps the published 7.
     grid={"n": (4000,), "d": (8, 12, 16, 20), "width": (16, 64, 256), "reps": (7,)},
-    smoke={"n": (2000,), "d": (8, 12), "width": (16, 64), "reps": (25,)},
+    smoke={"n": (8000, 16000), "d": (16,), "width": (128,), "reps": (11,)},
     fixed={"k": 5},
     run=_e13_run,
     columns=[
@@ -220,27 +266,151 @@ E13_SPEC = ExperimentSpec(
         "k",
         "exact_ms",
         "gemm_ms",
+        "gemm32_ms",
         "fused_ms_per_query",
         "speedup",
         "fused_speedup",
+        "f32_speedup",
         "max_rel_err",
+        "max_rel_err32",
     ],
     expectation=(
         "one M @ C.T BLAS product answers a whole level of masks; the "
-        "GEMM kernel beats the exact gather loop on every cell and the "
-        "mask-major fused kernel amortises further across queries"
+        "GEMM kernel beats the exact gather loop on every cell, the "
+        "float32 tier beats the float64 GEMM by >=1.5x on every smoke "
+        "cell, and the mask-major fused kernel amortises further across "
+        "queries"
     ),
     notes=[
         "GEMM values agree with the exact kernel within rtol 1e-9 on every "
-        "cell; pruning decisions are re-verified exactly by the search layer"
+        "cell; pruning decisions are re-verified exactly by the search layer",
+        "float32 values stay within the rigorous rounding bound of "
+        "repro.core.precision.reverify_rtol; answer sets are bit-identical "
+        "to float64 because the search layer re-verifies the bound band",
     ],
     # The sub-millisecond cells need noise control beyond run_kernel_cell's
     # internal reps: one unmeasured warm-up pass, then the median of 5.
     warmup=1,
     repeats=5,
-    regression={"speedup": "higher", "fused_speedup": "higher"},
+    regression={
+        "speedup": "higher",
+        "fused_speedup": "higher",
+        "f32_speedup": "higher",
+    },
+)
+
+
+# ----------------------------------------------------------------------
+# E14 — bounded intermediate footprint of the blocked GEMM kernel
+# ----------------------------------------------------------------------
+def run_memory_cell(
+    n: int, d: int, width: int, precision: str, k: int = 5, chunk_mb: int = 2
+) -> dict:
+    """Peak intermediate bytes of the level GEMM, unblocked vs blocked.
+
+    The blocked kernel streams the ``(width, n)`` similarity product in
+    column blocks sized by :data:`repro.index.linear.BATCH_CHUNK_BYTES`
+    (a per-dtype *element* budget, so float32 doubles the effective
+    block width); this cell pins the ceiling to ``chunk_mb`` MiB, runs
+    both ways, asserts the sums are bit-identical, and reports both
+    high-water marks. The byte counts are deterministic, so
+    ``peak_blocked_mb`` gates exactly (any growth past the CI tolerance
+    means the ceiling logic regressed).
+    """
+    import repro.index.linear as linear_module
+
+    rng = np.random.default_rng(E14_SEED)
+    X = rng.normal(size=(n, d))
+    query = rng.normal(size=d)
+    backend = LinearScanIndex(X)
+    masks = make_level_masks(rng, d, width)
+    components = backend.distance_components(query)
+
+    def run_once() -> "tuple[np.ndarray, int, float]":
+        backend.stats.reset()
+        start = time.perf_counter()
+        sums = backend.knn_distance_sums(
+            query, k, masks, components=components, kernel="gemm", precision=precision
+        )
+        elapsed = time.perf_counter() - start
+        peak = backend.stats.snapshot().get("peak_intermediate_bytes", 0)
+        return sums, peak, elapsed
+
+    saved = linear_module.BATCH_CHUNK_BYTES
+    linear_module.BATCH_CHUNK_BYTES = 2**62  # effectively unblocked
+    try:
+        unblocked, peak_unblocked, unblocked_s = run_once()
+        linear_module.BATCH_CHUNK_BYTES = chunk_mb * 2**20
+        blocked, peak_blocked, blocked_s = run_once()
+    finally:
+        linear_module.BATCH_CHUNK_BYTES = saved
+
+    assert np.array_equal(blocked, unblocked), (
+        "blocked GEMM diverged from the unblocked kernel"
+    )
+
+    return {
+        "n": n,
+        "d": d,
+        "width": width,
+        "k": k,
+        "precision": precision,
+        "chunk_mb": chunk_mb,
+        "peak_unblocked_mb": peak_unblocked / 2**20,
+        "peak_blocked_mb": peak_blocked / 2**20,
+        "footprint_ratio": peak_unblocked / max(1, peak_blocked),
+        "blocked_overhead": blocked_s / unblocked_s,
+        "identical": True,
+        "_counters": backend.stats.snapshot(),
+    }
+
+
+def _e14_run(ctx, n: int, d: int, width: int, precision: str, chunk_mb: int) -> dict:
+    return run_memory_cell(
+        int(n), int(d), int(width), str(precision), chunk_mb=int(chunk_mb)
+    )
+
+
+E14_SPEC = ExperimentSpec(
+    name="e14",
+    title="Blocked GEMM memory ceiling (peak intermediate bytes)",
+    grid={
+        "n": (20000,),
+        "d": (12,),
+        "width": (256, 512),
+        "precision": ("float64", "float32"),
+    },
+    smoke={"n": (20000,), "d": (12,), "width": (256,), "precision": ("float64", "float32")},
+    fixed={"chunk_mb": 2},
+    run=_e14_run,
+    columns=[
+        "n",
+        "d",
+        "width",
+        "precision",
+        "chunk_mb",
+        "peak_unblocked_mb",
+        "peak_blocked_mb",
+        "footprint_ratio",
+        "blocked_overhead",
+        "identical",
+    ],
+    expectation=(
+        "column blocking caps the level GEMM's intermediate at the "
+        "configured chunk budget regardless of n, with bit-identical "
+        "sums; the float32 tier halves both footprints at the same "
+        "element budget"
+    ),
+    notes=[
+        "blocked and unblocked sums asserted bit-identical on every cell "
+        "(the reduction axis is never split; merging per-block k-prefixes "
+        "is exact)"
+    ],
+    warmup=1,
+    repeats=3,
+    regression={"peak_blocked_mb": "lower"},
 )
 
 
 #: The perf-trajectory specs (committed snapshots + CI gate).
-PERF_SPECS = {spec.name: spec for spec in (E12_SPEC, E13_SPEC)}
+PERF_SPECS = {spec.name: spec for spec in (E12_SPEC, E13_SPEC, E14_SPEC)}

@@ -29,7 +29,7 @@ __all__ = [
     "run_spec",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _git_revision() -> tuple[str, bool]:
@@ -135,6 +135,20 @@ class ConditionRecord:
     cpu_time_s: float
     repeats: int
     counters: dict[str, int] = field(default_factory=dict)
+    #: Latency percentiles over the measured repeats (schema v2); equal
+    #: to ``wall_time_s`` when repeats are too few to resolve a tail.
+    wall_time_p50_s: float = 0.0
+    wall_time_p99_s: float = 0.0
+
+    @property
+    def reverify_fraction(self) -> "float | None":
+        """Share of GEMM-kernel masks re-verified exactly near the
+        threshold — the precision tier's honesty measure. ``None`` when
+        the condition ran no GEMM masks."""
+        gemm_masks = self.counters.get("gemm_masks", 0)
+        if gemm_masks <= 0:
+            return None
+        return self.counters.get("reverified_masks", 0) / gemm_masks
 
 
 @dataclass
@@ -189,6 +203,9 @@ class SpecResult:
                     "repeats": record.repeats,
                     "wall_time_s": record.wall_time_s,
                     "cpu_time_s": record.cpu_time_s,
+                    "wall_time_p50_s": record.wall_time_p50_s,
+                    "wall_time_p99_s": record.wall_time_p99_s,
+                    "reverify_fraction": record.reverify_fraction,
                     "counters": record.counters,
                     "rows": record.rows,
                 }
@@ -232,7 +249,12 @@ def run_spec(spec: ExperimentSpec, tier: str = "smoke") -> SpecResult:
                 extra = row.get("_counters")
                 if isinstance(extra, dict):
                     for key, value in extra.items():
-                        counters[key] = counters.get(key, 0) + int(value)
+                        if key.startswith("peak_"):
+                            # High-water marks: a sum across rows would
+                            # measure traffic, not footprint.
+                            counters[key] = max(counters.get(key, 0), int(value))
+                        else:
+                            counters[key] = counters.get(key, 0) + int(value)
             repeat_rows.append(rows)
         rows, notes = _aggregate(repeat_rows)
         # A note emitted by several conditions (shared-context specs)
@@ -247,6 +269,8 @@ def run_spec(spec: ExperimentSpec, tier: str = "smoke") -> SpecResult:
                 cpu_time_s=min(cpu_times),
                 repeats=spec.repeats,
                 counters=counters,
+                wall_time_p50_s=float(np.percentile(wall_times, 50)),
+                wall_time_p99_s=float(np.percentile(wall_times, 99)),
             )
         )
     return SpecResult(

@@ -9,10 +9,10 @@ more than the tolerance. ``BENCH_e12.json`` and ``BENCH_e13.json`` at
 the repo root are the committed baselines; CI re-runs the smoke tier and
 fails when a gated measure regresses by more than 15%.
 
-Schema (version 1)::
+Schema (version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "experiment": "e13",
       "title": "...",
       "tier": "smoke",
@@ -23,11 +23,24 @@ Schema (version 1)::
       "conditions": [
         {"params": {...}, "param_hash": "...", "repeats": N,
          "wall_time_s": ..., "cpu_time_s": ...,
-         "counters": {"gemm_flops": ..., ...},
+         "wall_time_p50_s": ..., "wall_time_p99_s": ...,
+         "reverify_fraction": ... | null,
+         "counters": {"gemm_flops": ..., "gemm_masks": ...,
+                      "reverified_masks": ...,
+                      "peak_intermediate_bytes": ..., ...},
          "rows": [{measure: value, ...}, ...]},
         ...
       ]
     }
+
+Version 2 is a strict superset of version 1: it adds the latency
+percentile columns (``wall_time_p50_s``/``wall_time_p99_s``, computed
+over the repeat loop), the derived ``reverify_fraction``
+(``reverified_masks / gemm_masks``; ``null`` for conditions that ran no
+GEMM masks), and the high-water ``peak_*`` counters, which aggregate by
+``max`` across rows rather than by sum. Version-1 baselines still load —
+the comparator only reads the required keys — so old snapshots remain
+comparable against fresh version-2 runs.
 """
 
 from __future__ import annotations
@@ -67,15 +80,19 @@ def snapshot_path(name: str, directory: str = ".") -> str:
 
 
 def validate_snapshot(payload: Any) -> dict[str, Any]:
-    """Check *payload* against schema version 1; return it on success."""
+    """Check *payload* against the snapshot schema; return it on success.
+
+    Versions 1 and 2 are both accepted — version 2 only adds keys, so
+    the shared required-key checks cover both.
+    """
     if not isinstance(payload, dict):
         raise SnapshotError(f"snapshot must be a JSON object, got {type(payload).__name__}")
     missing = [key for key in _REQUIRED_TOP_LEVEL if key not in payload]
     if missing:
         raise SnapshotError(f"snapshot missing top-level keys: {missing}")
-    if payload["schema_version"] != 1:
+    if payload["schema_version"] not in (1, 2):
         raise SnapshotError(
-            f"unsupported schema_version {payload['schema_version']!r} (expected 1)"
+            f"unsupported schema_version {payload['schema_version']!r} (expected 1 or 2)"
         )
     if not isinstance(payload["conditions"], list) or not payload["conditions"]:
         raise SnapshotError("snapshot must record at least one condition")

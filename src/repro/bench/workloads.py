@@ -21,6 +21,7 @@ from repro.data.synthetic import Dataset, make_planted_outliers
 __all__ = [
     "SEED",
     "E13_SEED",
+    "E14_SEED",
     "Workload",
     "planted_workload",
     "standard_miner",
@@ -38,6 +39,9 @@ SEED = 20040830  # VLDB 2004 opened on 30 Aug 2004.
 
 #: Seed for the E13 kernel microbenchmark (E-series offset convention).
 E13_SEED = SEED + 13
+
+#: Seed for the E14 memory-ceiling benchmark.
+E14_SEED = SEED + 14
 
 
 @dataclass(slots=True)

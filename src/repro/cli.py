@@ -96,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
         "always runs the bit-exact per-mask kernel; answers are identical",
     )
     query.add_argument(
+        "--precision", choices=["auto", "float64", "float32"], default="auto",
+        help="GEMM precision tier: auto (default) runs the level product in "
+        "float32 under the GEMM kernel with exact float64 re-verification "
+        "near the threshold; answer sets are identical at any setting",
+    )
+    query.add_argument(
+        "--topk-kernel", choices=["auto", "partition", "filter", "numba"],
+        default="auto",
+        help="post-GEMM top-k selection kernel (auto prefers the compiled "
+        "numba kernel when installed; all kernels are value-identical)",
+    )
+    query.add_argument(
         "--sample-size", type=int, default=10, help="learning sample size S (default 10)"
     )
     query.add_argument(
@@ -162,6 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="OD kernel: auto (default) uses the level-wide GEMM kernel when "
         "the metric supports it, gemm demands it (errors otherwise), exact "
         "always runs the bit-exact per-mask kernel; answers are identical",
+    )
+    batch.add_argument(
+        "--precision", choices=["auto", "float64", "float32"], default="auto",
+        help="GEMM precision tier: auto (default) runs the level product in "
+        "float32 under the GEMM kernel with exact float64 re-verification "
+        "near the threshold; answer sets are identical at any setting",
+    )
+    batch.add_argument(
+        "--topk-kernel", choices=["auto", "partition", "filter", "numba"],
+        default="auto",
+        help="post-GEMM top-k selection kernel (auto prefers the compiled "
+        "numba kernel when installed; all kernels are value-identical)",
     )
     batch.add_argument(
         "--sample-size", type=int, default=10, help="learning sample size S (default 10)"
@@ -278,6 +302,8 @@ def _run_query(args: argparse.Namespace) -> int:
         index=args.index,
         sample_size=args.sample_size,
         kernel=args.kernel,
+        precision=args.precision,
+        topk_kernel=args.topk_kernel,
     ).fit(X, feature_names=dataset.feature_names)
     print(f"fitted on {dataset.n} rows x {dataset.d} columns; T = {miner.threshold_:.4g}")
     for row in args.row:
@@ -326,6 +352,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         index=args.index,
         sample_size=args.sample_size,
         kernel=args.kernel,
+        precision=args.precision,
+        topk_kernel=args.topk_kernel,
     ).fit(X, feature_names=dataset.feature_names)
     print(
         f"fitted on {dataset.n} rows x {dataset.d} columns; "

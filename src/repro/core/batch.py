@@ -52,10 +52,11 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.od import ODEvaluator, SharedODCache, near_threshold
+from repro.core.precision import reverify_rtol
 from repro.core.result import BatchResult, OutlyingSubspaceResult
 from repro.core.search import SearchOutcome, SearchStats
 from repro.core.subspace import dims_of_mask
-from repro.index.base import validate_query_matrix
+from repro.index.base import components32_from, validate_query_matrix
 
 if TYPE_CHECKING:
     from repro.core.miner import HOSMiner
@@ -75,6 +76,9 @@ class _SearchState:
     #: Per-dimension distance contribution matrix (n, d), allocated
     #: lazily for eval-heavy searches and dropped on completion.
     components: np.ndarray | None = None
+    #: Pre-transposed (d, n) float32 copy of ``components`` for the
+    #: float32 GEMM tier; ``None`` outside the tier or on overflow.
+    components32: np.ndarray | None = None
 
 
 #: Ceiling on the memory held in per-state component matrices at any
@@ -206,11 +210,22 @@ class BatchQueryEngine:
 
         kernel = miner.kernel_
         threshold = miner.threshold_
+        precision = miner.precision_
+        use_f32 = kernel == "gemm" and precision == "float32"
+        # One band for every search of the batch: same backend, same
+        # resolved tier => same rigorous re-verification width.
+        band_rtol = reverify_rtol(precision, backend.d)
 
         states: list[_SearchState] = []
         for query, exclude in zip(queries, excludes):
             evaluator = ODEvaluator(
-                backend, query, k, exclude=exclude, shared_cache=cache, kernel=kernel
+                backend,
+                query,
+                k,
+                exclude=exclude,
+                shared_cache=cache,
+                kernel=kernel,
+                precision=precision,
             )
             states.append(
                 _SearchState(
@@ -238,18 +253,32 @@ class BatchQueryEngine:
                 dims_cache[mask] = dims
             return dims
 
+        # Float64 components cost 8 bytes/element; the float32 tier
+        # keeps a transposed float32 copy alongside (4 more).
+        per_state_bytes = queries.shape[1] * backend.size * (12 if use_f32 else 8)
+
         def allocate_components(state: _SearchState) -> None:
             """Budget-gated per-state component matrix allocation."""
             nonlocal component_bytes
             if not supports_components or state.components is not None:
                 return
-            needed = queries.shape[1] * backend.size * 8
-            if component_bytes + needed <= COMPONENT_BUDGET_BYTES:
+            if component_bytes + per_state_bytes <= COMPONENT_BUDGET_BYTES:
                 state.components = backend.distance_components(
                     state.evaluator.query
                 )
                 if state.components is not None:
-                    component_bytes += needed
+                    component_bytes += per_state_bytes
+                    if use_f32:
+                        state.components32 = components32_from(state.components)
+
+        def precision_kwargs(state: "_SearchState | None") -> dict:
+            """Extra kwargs carrying the float32 tier into the backend
+            sums kernels (empty outside the tier)."""
+            if not use_f32:
+                return {}
+            if state is None:
+                return {"precision": "float32"}
+            return {"precision": "float32", "components32": state.components32}
 
         def reverified(state: _SearchState, i: int, mask: int, value: float) -> float:
             """Replace a near-threshold GEMM value with the exact one.
@@ -258,7 +287,7 @@ class BatchQueryEngine:
             answers-identical contract — every GEMM-computed value flows
             through here before a pruning decision can be made on it.
             """
-            if kernel == "gemm" and near_threshold(value, threshold):
+            if kernel == "gemm" and near_threshold(value, threshold, band_rtol):
                 value = float(
                     backend.knn_distance_sums(
                         state.evaluator.query,
@@ -269,6 +298,10 @@ class BatchQueryEngine:
                         kernel="exact",
                     )[0]
                 )
+                state.evaluator.reverifications += 1
+                stats = getattr(backend, "stats", None)
+                if stats is not None:
+                    stats.bump("reverified_masks")
             return value
 
         def serve_with_sums(state: _SearchState, i: int, masks: "list[int]") -> None:
@@ -287,6 +320,7 @@ class BatchQueryEngine:
                 exclude=excludes[i],
                 components=state.components,
                 kernel=kernel,
+                **precision_kwargs(state),
             )
             for mask, value in zip(masks, values):
                 value = reverified(state, i, mask, float(value))
@@ -360,6 +394,12 @@ class BatchQueryEngine:
                         continue
                     for i in members:
                         allocate_components(states[i])
+                    batch_kwargs = {}
+                    if use_f32:
+                        batch_kwargs["precision"] = "float32"
+                        batch_kwargs["components32_list"] = [
+                            states[i].components32 for i in members
+                        ]
                     grid = backend.knn_distance_sums_batch(
                         queries[members],
                         k,
@@ -367,6 +407,7 @@ class BatchQueryEngine:
                         excludes=[excludes[i] for i in members],
                         components_list=[states[i].components for i in members],
                         kernel="gemm",
+                        **batch_kwargs,
                     )
                     for row, i in enumerate(members):
                         state = states[i]
@@ -427,8 +468,9 @@ class BatchQueryEngine:
                 except StopIteration as stop:
                     state.outcome = stop.value
                     if state.components is not None:
-                        component_bytes -= queries.shape[1] * backend.size * 8
+                        component_bytes -= per_state_bytes
                         state.components = None
+                        state.components32 = None
             active = still_active
 
         results = [
@@ -477,6 +519,7 @@ class BatchQueryEngine:
             total.od_evaluations += result.stats.od_evaluations
             total.upward_pruned += result.stats.upward_pruned
             total.downward_pruned += result.stats.downward_pruned
+            total.reverified += result.stats.reverified
             for level, count in result.stats.evaluations_by_level.items():
                 total.evaluations_by_level[level] = (
                     total.evaluations_by_level.get(level, 0) + count

@@ -8,15 +8,25 @@ happen at fit time.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.metrics import KERNELS
+from repro.core.precision import PRECISIONS
+from repro.index.topk import TOPK_KERNELS
 
 __all__ = ["HOSMinerConfig"]
 
 _INDEX_BACKENDS = ("linear", "rstar", "xtree", "vafile")
 _RESELECT_MODES = ("level", "evaluation")
+
+
+def _default_precision() -> str:
+    """Default of the ``precision`` knob; overridable via the
+    ``HOSMINER_PRECISION`` environment variable (the CI float32 job sets
+    it to run the whole suite through the float32 tier)."""
+    return os.environ.get("HOSMINER_PRECISION", "auto")
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,25 @@ class HOSMinerConfig:
         the bit-exact kernel. Answer sets are identical under every
         setting — near-threshold GEMM values are re-verified exactly —
         so the knob trades nothing but speed.
+    precision:
+        GEMM precision tier under the kernel knob: ``"auto"`` (default;
+        reads the ``HOSMINER_PRECISION`` environment variable when set)
+        runs the level-wide product in float32 whenever the GEMM kernel
+        serves it, ``"float32"``/``"float64"`` force a tier. Resolution
+        happens at fit time against the resolved kernel — any non-GEMM
+        kernel computes in float64 by definition, so the knob is inert
+        (not an error) there. The float32 tier widens the exact
+        re-verification band to a rigorous rounding bound
+        (:func:`repro.core.precision.reverify_rtol`), keeping answer
+        sets bit-identical to float64 at either setting.
+    topk_kernel:
+        Post-GEMM top-k selection kernel
+        (:data:`repro.index.topk.TOPK_KERNELS`): ``"auto"`` (default)
+        prefers the compiled numba selection when numba is importable
+        and otherwise the per-dtype numpy default; ``"partition"``,
+        ``"filter"`` and ``"numba"`` force one (``"numba"`` without
+        numba silently falls back — every kernel is value-identical).
+        Forwarded to backends that reduce a GEMM block (``"linear"``).
     """
 
     k: int = 5
@@ -77,6 +106,8 @@ class HOSMinerConfig:
     reselect: str = "level"
     adaptive: bool = False
     kernel: str = "auto"
+    precision: str = field(default_factory=_default_precision)
+    topk_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -108,4 +139,12 @@ class HOSMinerConfig:
         if self.kernel not in KERNELS:
             raise ConfigurationError(
                 f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
+        if self.precision not in PRECISIONS:
+            raise ConfigurationError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+        if self.topk_kernel not in TOPK_KERNELS:
+            raise ConfigurationError(
+                f"topk_kernel must be one of {TOPK_KERNELS}, got {self.topk_kernel!r}"
             )

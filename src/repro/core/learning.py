@@ -71,6 +71,7 @@ def learn_priors(
     adaptive: bool = False,
     shared_cache: SharedODCache | None = None,
     kernel: str = "exact",
+    precision: str = "auto",
 ) -> LearningReport:
     """Run the sample-based learning process and average the priors.
 
@@ -103,6 +104,11 @@ def learn_priors(
         passes its fitted kernel so learning runs on the same fast
         path as queries). Lossless pruning is preserved under either
         kernel, so the learned fractions are unchanged.
+    precision:
+        GEMM precision tier for the sample searches (the miner passes
+        its resolved tier). Near-threshold re-verification keeps every
+        per-sample outlying fraction — hence the learned priors —
+        identical across tiers.
     """
     if sample_size < 0:
         raise ConfigurationError(f"sample_size must be >= 0, got {sample_size}")
@@ -131,7 +137,13 @@ def learn_priors(
     report = LearningReport(priors=uniform, sample_rows=sample_rows)
     for row in sample_rows:
         evaluator = ODEvaluator(
-            backend, X[row], k, exclude=row, shared_cache=shared_cache, kernel=kernel
+            backend,
+            X[row],
+            k,
+            exclude=row,
+            shared_cache=shared_cache,
+            kernel=kernel,
+            precision=precision,
         )
         outcome = DynamicSubspaceSearch(
             evaluator, threshold, uniform, reselect, adaptive=adaptive

@@ -33,6 +33,7 @@ from repro.core.filtering import minimal_masks
 from repro.core.learning import LearningReport, learn_priors
 from repro.core.metrics import resolve_kernel
 from repro.core.od import ODEvaluator, SharedODCache, outlying_degree
+from repro.core.precision import resolve_precision
 from repro.core.priors import PruningPriors
 from repro.core.result import BatchResult, OutlyingSubspaceResult
 from repro.core.search import DynamicSubspaceSearch, SearchOutcome
@@ -109,6 +110,7 @@ class HOSMiner:
         self._feature_names: list[str] | None = None
         self._od_cache: SharedODCache | None = None
         self._kernel: str | None = None
+        self._precision: str | None = None
         self.fit_time_s: float = 0.0
 
     # ------------------------------------------------------------------
@@ -134,8 +136,13 @@ class HOSMiner:
 
         self._X = X
         self._feature_names = list(feature_names) if feature_names else None
+        index_options = dict(self.config.index_options)
+        if self.config.index == "linear":
+            # The linear scan owns a post-GEMM top-k reduction; other
+            # backends have no block to reduce, so the knob stays inert.
+            index_options.setdefault("topk_kernel", self.config.topk_kernel)
         self._backend = make_backend(
-            self.config.index, X, metric=self.config.metric, **self.config.index_options
+            self.config.index, X, metric=self.config.metric, **index_options
         )
         # Resolve the OD-kernel selector against the *actual* metric and
         # backend before any search runs: an explicit kernel="gemm" that
@@ -150,6 +157,9 @@ class HOSMiner:
                     f"answers kNN per subspace — use kernel='auto' or 'exact'"
                 )
             self._kernel = "exact"
+        # The precision tier resolves against the kernel that will
+        # really run: float32 only ever rides the GEMM product.
+        self._precision = resolve_precision(self.config.precision, self._kernel)
         # Per-fit shared OD cache: calibration and learning publish every
         # OD they compute, so batched queries of already-touched rows
         # replay fit-time work instead of redoing it.
@@ -179,6 +189,7 @@ class HOSMiner:
             adaptive=self.config.adaptive,
             shared_cache=self._od_cache,
             kernel=self._kernel,
+            precision=self._precision,
         )
         self._priors = self._learning_report.priors
         self._fitted = True
@@ -223,6 +234,14 @@ class HOSMiner:
         config's ``"auto"`` resolved against the fitted metric."""
         self._require_fitted()
         return self._kernel  # type: ignore[return-value]
+
+    @property
+    def precision_(self) -> str:
+        """The resolved GEMM precision tier (``"float32"`` or
+        ``"float64"``) — the config's ``"auto"`` resolved against the
+        fitted kernel."""
+        self._require_fitted()
+        return self._precision  # type: ignore[return-value]
 
     @property
     def d_(self) -> int:
@@ -284,6 +303,7 @@ class HOSMiner:
                 adaptive=self.config.adaptive,
                 shared_cache=self._od_cache,
                 kernel=self._kernel,
+                precision=self._precision,
             )
             self._priors = self._learning_report.priors
         return self
@@ -379,7 +399,12 @@ class HOSMiner:
         else:
             query, exclude = np.asarray(target, dtype=np.float64), None
         evaluator = ODEvaluator(
-            self._backend, query, self.config.k, exclude=exclude, kernel=self._kernel
+            self._backend,
+            query,
+            self.config.k,
+            exclude=exclude,
+            kernel=self._kernel,
+            precision=self._precision,
         )
         return self._make_search(evaluator).run(), evaluator
 
@@ -421,7 +446,12 @@ class HOSMiner:
 
     def _run_query(self, query: np.ndarray, exclude: int | None) -> OutlyingSubspaceResult:
         evaluator = ODEvaluator(
-            self._backend, query, self.config.k, exclude=exclude, kernel=self._kernel
+            self._backend,
+            query,
+            self.config.k,
+            exclude=exclude,
+            kernel=self._kernel,
+            precision=self._precision,
         )
         outcome = self._make_search(evaluator).run()
         return self._build_result(outcome, evaluator)

@@ -38,8 +38,9 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError, DataShapeError
 from repro.core.metrics import resolve_kernel
+from repro.core.precision import resolve_precision, reverify_rtol
 from repro.core.subspace import Subspace, dims_of_mask
-from repro.index.base import KnnBackend
+from repro.index.base import KnnBackend, components32_from
 
 __all__ = [
     "GEMM_REVERIFY_RTOL",
@@ -58,11 +59,21 @@ __all__ = [
 GEMM_REVERIFY_RTOL = 1e-9
 
 
-def near_threshold(value: float, threshold: float) -> bool:
-    """Whether a GEMM OD value is too close to ``T`` to decide alone."""
-    return abs(value - threshold) <= GEMM_REVERIFY_RTOL * (
-        abs(value) + abs(threshold) + 1.0
-    )
+def near_threshold(
+    value: float, threshold: float, rtol: float = GEMM_REVERIFY_RTOL
+) -> bool:
+    """Whether a GEMM OD value is too close to ``T`` to decide alone.
+
+    *rtol* widens with the kernel precision — the float32 tier passes
+    its rigorous rounding band from
+    :func:`repro.core.precision.reverify_rtol`. Non-finite values (a
+    float32 or float64 accumulation that overflowed, or a NaN from
+    pathological data) are always in-band: no bound certifies them, so
+    the exact kernel decides.
+    """
+    if not np.isfinite(value):
+        return True
+    return abs(value - threshold) <= rtol * (abs(value) + abs(threshold) + 1.0)
 
 
 def outlying_degree(
@@ -154,6 +165,14 @@ class ODEvaluator:
         ``"gemm"`` or ``"auto"``; resolved once against the backend's
         metric (an explicit ``"gemm"`` with an incapable metric fails
         here, loudly). Single-mask :meth:`od` always runs exact.
+    precision:
+        GEMM precision tier, resolved once against the resolved kernel
+        (:func:`~repro.core.precision.resolve_precision`; ``"auto"``
+        default picks float32 under the GEMM kernel, float64 anywhere
+        else). The tier moves only *where* time goes: the exact
+        re-verification band (:attr:`reverify_rtol`) widens to the
+        rigorous float32 rounding bound, so threshold decisions always
+        match the float64 kernel.
 
     Notes
     -----
@@ -161,6 +180,8 @@ class ODEvaluator:
     repeats served from the evaluator's own memory and ``shared_hits``
     those served from the shared per-fit cache. The search-cost tables
     of experiments E1–E5 and E10 report ``evaluations``.
+    ``reverifications`` counts near-threshold exact re-computations —
+    the honesty counter of the precision tier.
     """
 
     def __init__(
@@ -171,6 +192,7 @@ class ODEvaluator:
         exclude: int | None = None,
         shared_cache: SharedODCache | None = None,
         kernel: str = "exact",
+        precision: str = "auto",
     ) -> None:
         query = self._validate_query(query, backend.d)
         available = backend.size - (1 if exclude is not None else 0)
@@ -184,9 +206,13 @@ class ODEvaluator:
         self.exclude = exclude
         metric = getattr(backend, "metric", None)
         self.kernel = "exact" if metric is None else resolve_kernel(kernel, metric)
+        self.precision = resolve_precision(precision, self.kernel)
+        #: Half-width of the near-threshold exact re-verification band.
+        self.reverify_rtol = reverify_rtol(self.precision, backend.d)
         self.evaluations = 0
         self.cache_hits = 0
         self.shared_hits = 0
+        self.reverifications = 0
         self._cache: dict[int, float] = {}
         self._shared = shared_cache
         self._point_key = (
@@ -194,6 +220,8 @@ class ODEvaluator:
         )
         self._components: np.ndarray | None = None
         self._components_probed = False
+        self._components32: np.ndarray | None = None
+        self._components32_probed = False
 
     @staticmethod
     def _validate_query(query: np.ndarray, d: int) -> np.ndarray:
@@ -266,6 +294,10 @@ class ODEvaluator:
             np.asarray(dims_of_mask(mask), dtype=np.intp) for mask in new_masks
         ]
         components = self._ensure_components(len(dims_arrays))
+        kwargs = {}
+        if self.precision == "float32":
+            kwargs["precision"] = "float32"
+            kwargs["components32"] = self._ensure_components32(components)
         sums = sums_fn(
             self.query,
             self.k,
@@ -273,10 +305,12 @@ class ODEvaluator:
             exclude=self.exclude,
             components=components,
             kernel=self.kernel,
+            **kwargs,
         )
         if self.kernel == "gemm" and threshold is not None:
+            stats = getattr(self.backend, "stats", None)
             for idx in range(len(new_masks)):
-                if near_threshold(float(sums[idx]), threshold):
+                if near_threshold(float(sums[idx]), threshold, self.reverify_rtol):
                     sums[idx] = sums_fn(
                         self.query,
                         self.k,
@@ -285,6 +319,9 @@ class ODEvaluator:
                         components=components,
                         kernel="exact",
                     )[0]
+                    self.reverifications += 1
+                    if stats is not None:
+                        stats.bump("reverified_masks")
         for mask, value in zip(new_masks, sums):
             value = float(value)
             self._store(mask, value)
@@ -309,6 +346,15 @@ class ODEvaluator:
             if components_fn is not None:
                 self._components = components_fn(self.query)
         return self._components
+
+    def _ensure_components32(self, components: "np.ndarray | None") -> "np.ndarray | None":
+        """Lazily build (and keep) the pre-transposed float32 component
+        copy of the precision tier; ``None`` (float32 overflow or no
+        component matrix) makes the backend fall back to float64."""
+        if not self._components32_probed:
+            self._components32_probed = True
+            self._components32 = components32_from(components)
+        return self._components32
 
     def cached_od(self, mask: int) -> float | None:
         """Cached OD for *mask* (local, then shared), or ``None``.
@@ -359,3 +405,4 @@ class ODEvaluator:
         self.evaluations = 0
         self.cache_hits = 0
         self.shared_hits = 0
+        self.reverifications = 0

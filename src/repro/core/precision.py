@@ -1,0 +1,126 @@
+"""The mixed-precision tier under the OD-kernel knob.
+
+The GEMM OD kernel (PR 2) made level-wide evaluation one BLAS product;
+this module adds the *raw-speed tier below it* (ROADMAP item 3): run the
+``M @ C.T`` product in float32 and keep the answer set provably
+identical to the float64 kernel by re-verifying, in exact float64, only
+the masks whose OD lands inside a rigorous rounding-error band around
+the threshold. The same "cheap value first, exact check only near the
+decision boundary" discipline that already makes the GEMM kernel an
+exact drop-in extends unchanged — only the band is wider.
+
+Error-bound derivation (:func:`reverify_rtol`)
+----------------------------------------------
+Let ``u = 2**-24`` (float32 unit roundoff) and ``d`` the data
+dimensionality. One float32 component sum for a mask with ``|s| <= d``
+dimensions is a dot product of a 0/1 mask row (exact in float32) with a
+component row cast from float64:
+
+* the cast perturbs each non-negative component by at most a factor
+  ``(1 + u)``;
+* accumulating ``<= d`` products adds at most the standard factor
+  ``(1 + gamma_d)`` with ``gamma_d = d*u / (1 - d*u)`` (Higham, §3.1;
+  blocked/FMA BLAS summation only tightens it).
+
+So each float32 component sum ``a32`` satisfies ``a32 = a*(1 + e_i)``
+with ``|e_i| <= e = (1+u)*(1+gamma_d) - 1``, components being
+non-negative for every L_p metric.
+
+Top-k selection error is *absorbed* by the same bound: let ``A`` be the
+k component sums the exact kernel selects (the k smallest) and ``B`` the
+k the float32 kernel selects (the k smallest *perturbed* sums), and let
+``f`` be the metric's monotone non-negative finalizer (identity, sqrt,
+or ``x**(1/p)``, which only shrink relative error). Then
+
+* upper: ``B`` minimises the perturbed selection, so
+  ``sum_B f(a32) <= sum_A f(a32) <= sum_A f(a*(1+e)) <= OD*(1+e)``;
+* lower: ``A`` minimises the exact selection, so
+  ``sum_B f(a32) >= sum_B f(a*(1-e)) >= sum_A f(a*(1-e)) >= OD*(1-e)``
+
+(using monotonicity of ``f`` and ``f(x*(1+e)) <= f(x)*(1+e)`` for the
+L_p roots). Hence the float32 OD value ``v32`` satisfies
+``|v32 - v64| <= e * v64`` regardless of which neighbours float32
+selected — one d-dependent band certifies threshold decisions *and*
+covers any uncertifiable top-k prefix ordering, because a mask whose
+prefix selection differed can only matter if its OD moved across ``T``,
+which the band catches.
+
+:func:`reverify_rtol` returns ``8 * e`` — a conservative safety factor
+that also covers the ``e/(1-e)`` asymmetry of banding on the *computed*
+value rather than the exact one, and the (float64, hence ~1e9x smaller)
+noise of the final k-term summation. Values that are not finite
+(float32 overflow to ``inf``) are always re-verified
+(:func:`repro.core.od.near_threshold` treats them as in-band), so the
+bound never needs to hold for them.
+
+Resolution semantics (:func:`resolve_precision`)
+------------------------------------------------
+The precision tier rides the GEMM kernel: the exact kernel *is* the
+float64 reference, so any non-GEMM kernel resolves to ``"float64"``
+without error (this keeps ``HOSMINER_PRECISION=float32`` runs of
+exact-kernel configurations valid instead of loudly failing).
+``"auto"`` picks float32 under the GEMM kernel — the answer set is
+identical by construction, so the fast tier is the sensible default.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "FLOAT32_UNIT_ROUNDOFF",
+    "PRECISIONS",
+    "reverify_rtol",
+    "resolve_precision",
+]
+
+#: Valid values of the ``precision`` knob.
+PRECISIONS = ("auto", "float64", "float32")
+
+#: Unit roundoff of IEEE-754 binary32 (round-to-nearest).
+FLOAT32_UNIT_ROUNDOFF = 2.0**-24
+
+#: Safety factor on the derived bound — covers banding on the computed
+#: value (``e/(1-e)``), float64 finalize/sum noise, and leaves slack for
+#: BLAS kernels whose accumulation order we do not control.
+_SAFETY = 8.0
+
+
+def resolve_precision(precision: str, kernel: str) -> str:
+    """Resolve the ``precision`` knob against a *resolved* kernel.
+
+    Returns ``"float64"`` or ``"float32"``. Any kernel other than
+    ``"gemm"`` computes in float64 by definition, so the knob resolves
+    to ``"float64"`` there; under the GEMM kernel ``"auto"`` selects
+    float32 (answers are identical either way — only speed changes).
+    """
+    if precision not in PRECISIONS:
+        raise ConfigurationError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    if kernel != "gemm" or precision == "float64":
+        return "float64"
+    return "float32"
+
+
+def reverify_rtol(precision: str, d: int, float64_rtol: float = 1e-9) -> float:
+    """Relative half-width of the exact re-verification band.
+
+    For ``precision="float64"`` this is the legacy GEMM band
+    (*float64_rtol*, see :data:`repro.core.od.GEMM_REVERIFY_RTOL`); for
+    ``"float32"`` it is the rigorous d-dependent rounding bound derived
+    in the module docstring, never narrower than the float64 band.
+    """
+    if precision != "float32":
+        return float64_rtol
+    if d < 1:
+        raise ConfigurationError(f"d must be >= 1, got {d}")
+    u = FLOAT32_UNIT_ROUNDOFF
+    du = d * u
+    if du >= 0.5:  # d ~ 8e6: float32 accumulation is meaningless there
+        raise ConfigurationError(
+            f"d={d} is too large for a rigorous float32 GEMM bound"
+        )
+    gamma_d = du / (1.0 - du)
+    e = (1.0 + u) * (1.0 + gamma_d) - 1.0
+    return max(_SAFETY * e, float64_rtol)

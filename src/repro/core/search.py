@@ -65,6 +65,9 @@ class SearchStats:
     level_schedule: list[int] = field(default_factory=list)
     #: OD evaluations per level.
     evaluations_by_level: dict[int, int] = field(default_factory=dict)
+    #: Near-threshold exact re-verifications (GEMM kernel honesty
+    #: counter; always 0 under the exact kernel).
+    reverified: int = 0
     wall_time_s: float = 0.0
 
     @property
@@ -77,6 +80,7 @@ class SearchStats:
             "od_evaluations": self.od_evaluations,
             "upward_pruned": self.upward_pruned,
             "downward_pruned": self.downward_pruned,
+            "reverified": self.reverified,
             "wall_time_s": self.wall_time_s,
         }
 
@@ -268,6 +272,7 @@ class DynamicSubspaceSearch:
         self, lattice: SubspaceLattice, stats: SearchStats, start: float
     ) -> SearchOutcome:
         stats.wall_time_s = time.perf_counter() - start
+        stats.reverified = self.evaluator.reverifications
         return SearchOutcome(
             d=lattice.d,
             threshold=self.threshold,

@@ -25,6 +25,7 @@ from repro.index.stats import IndexStats
 
 __all__ = [
     "KnnBackend",
+    "components32_from",
     "knn_batch_fallback",
     "mask_matrix",
     "normalize_excludes",
@@ -111,20 +112,46 @@ class KnnBackend(Protocol):
         """
 
 
-def mask_matrix(dims_list: "Sequence[np.ndarray]", d: int) -> np.ndarray:
+def mask_matrix(
+    dims_list: "Sequence[np.ndarray]", d: int, dtype: "np.dtype | type" = np.float64
+) -> np.ndarray:
     """Pack subspace dimension lists into a 0/1 selection matrix.
 
-    Returns the ``(m, d)`` float64 matrix ``M`` with ``M[j, dim] = 1``
-    for every dimension of subspace ``j`` — the left-hand operand of
-    the level-wide OD kernel's ``M @ C.T`` GEMM. Putting masks on the
-    left makes the (freshly allocated, C-order) product mask-major: row
+    Returns the ``(m, d)`` matrix ``M`` with ``M[j, dim] = 1`` for
+    every dimension of subspace ``j`` — the left-hand operand of the
+    level-wide OD kernel's ``M @ C.T`` GEMM. Putting masks on the left
+    makes the (freshly allocated, C-order) product mask-major: row
     ``j`` holds subspace ``j``'s per-point component sums contiguously,
-    which is the layout the axis-wise top-k partition wants.
+    which is the layout the axis-wise top-k reduction wants. *dtype*
+    selects the GEMM precision; 0 and 1 are exact in every float dtype,
+    so the mask itself never loses information.
     """
-    M = np.zeros((len(dims_list), d))
+    M = np.zeros((len(dims_list), d), dtype=dtype)
     for j, dims in enumerate(dims_list):
         M[j, dims] = 1.0
     return M
+
+
+def components32_from(components: "np.ndarray | None") -> "np.ndarray | None":
+    """Transposed float32 copy of a component matrix, or ``None``.
+
+    The float32 GEMM tier's right-hand operand: ``(d, n)`` C-contiguous
+    (pre-transposed so the sgemm consumes two contiguous operands — the
+    float64 path keeps the shared ``(n, d)`` cache layout instead).
+    Returns ``None`` when any entry overflows float32 (magnitudes above
+    ~3.4e38): a non-finite operand could turn masked-out dimensions
+    into ``0 * inf = NaN`` inside the GEMM, and NaN escapes the
+    re-verification band — callers fall back to the float64 kernel for
+    such data instead. Finite entries can still overflow to ``inf``
+    during *accumulation*, which is safe: ``inf`` values are always
+    re-verified exactly.
+    """
+    if components is None:
+        return None
+    transposed = np.ascontiguousarray(components.T, dtype=np.float32)
+    if not np.isfinite(transposed).all():
+        return None
+    return transposed
 
 
 def validate_sums_request(

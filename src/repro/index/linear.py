@@ -20,24 +20,29 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError, DataShapeError
 from repro.core.metrics import Metric, get_metric, resolve_kernel
+from repro.core.precision import resolve_precision
 from repro.index.base import (
+    components32_from,
     mask_matrix,
     normalize_excludes,
     validate_query_matrix,
     validate_sums_request,
 )
 from repro.index.stats import IndexStats
+from repro.index.topk import TOPK_KERNELS, resolve_topk_kernel, topk_prefix
 
 __all__ = ["LinearScanIndex", "BLOCK_ROWS"]
 
 #: Rows per simulated disk block for node-access accounting.
 BLOCK_ROWS = 64
 
-#: Memory ceiling for one batched distance intermediate; the multi-query
-#: kernels chunk their query axis so the (m_chunk, n, |dims|) temporary
-#: stays under this, keeping huge batches from materialising O(m * n)
-#: float64 blocks at once. Chunking never changes results — each query's
-#: arithmetic is independent.
+#: Memory ceiling for one batched distance intermediate. The multi-query
+#: kernels chunk their query axis — and the single-query level GEMM its
+#: *column* axis — so no temporary exceeds this many bytes. The budget
+#: counts elements at the kernel's dtype, so the float32 tier fits twice
+#: the columns per block. Chunking never changes results: the query axis
+#: is independent per query, and the column blocking never splits a dot
+#: product's reduction axis (see :meth:`LinearScanIndex._level_prefix`).
 BATCH_CHUNK_BYTES = 64 * 2**20
 
 
@@ -51,12 +56,25 @@ class LinearScanIndex:
         contiguous for fast fancy-indexing on dimension subsets.
     metric:
         Metric instance or registry name (default ``"euclidean"``).
+    topk_kernel:
+        Post-GEMM top-k selection kernel, one of
+        :data:`repro.index.topk.TOPK_KERNELS` (default ``"auto"``).
+        Every kernel returns identical values; the knob only moves time.
     """
 
-    def __init__(self, X: np.ndarray, metric: "Metric | str" = "euclidean") -> None:
+    def __init__(
+        self,
+        X: np.ndarray,
+        metric: "Metric | str" = "euclidean",
+        topk_kernel: str = "auto",
+    ) -> None:
         X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] == 0 or X.shape[1] == 0:
             raise DataShapeError(f"expected a non-empty (n, d) matrix, got shape {X.shape}")
+        if topk_kernel not in TOPK_KERNELS:
+            raise ConfigurationError(
+                f"topk_kernel must be one of {TOPK_KERNELS}, got {topk_kernel!r}"
+            )
         # The scanned matrix lives in a capacity-doubling buffer so that
         # insert() is amortised O(d) instead of an O(n·d) vstack per
         # call; _X is always the contiguous first-_n-rows view.
@@ -64,6 +82,7 @@ class LinearScanIndex:
         self._n = X.shape[0]
         self._X = self._buf[: self._n]
         self.metric = get_metric(metric)
+        self.topk_kernel = topk_kernel
         self.stats = IndexStats()
 
     # -- KnnBackend interface ------------------------------------------------
@@ -200,6 +219,8 @@ class LinearScanIndex:
         exclude: int | None = None,
         components: "np.ndarray | None" = None,
         kernel: str = "exact",
+        precision: str = "float64",
+        components32: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Sum of the ``k`` smallest distances in many subspaces at once.
 
@@ -228,7 +249,21 @@ class LinearScanIndex:
             BLAS accumulates in its own order, so values agree with the
             exact kernel to float tolerance (~1e-13 relative) rather
             than bit-for-bit — threshold decisions made on GEMM output
-            are re-verified near the threshold by the OD layer.
+            are re-verified near the threshold by the OD layer. The
+            product is blocked along the column (point) axis whenever it
+            would exceed :data:`BATCH_CHUNK_BYTES`, with a streaming
+            top-k merge that is value-identical to the unblocked kernel.
+
+        *precision* selects the GEMM dtype (``"float64"`` default at
+        this layer; resolved via
+        :func:`repro.core.precision.resolve_precision`). Under
+        ``"float32"`` the product runs on a pre-transposed ``(d, n)``
+        float32 component copy — *components32*, built here via
+        :func:`~repro.index.base.components32_from` when not supplied —
+        and the OD layer widens its exact re-verification band to the
+        rigorous float32 rounding bound, so answer *sets* stay identical
+        to the float64 kernel. Data whose components overflow float32
+        silently falls back to the float64 product.
         """
         query = np.asarray(query, dtype=np.float64)
         if query.shape != (self.d,):
@@ -247,11 +282,19 @@ class LinearScanIndex:
             if components is None:
                 components = self.metric.pairwise_components(self._X, query)
                 self._account_scan()
-            S = mask_matrix(dims_arrays, self.d) @ components.T
-            if exclude is not None:
-                S[:, exclude] = np.inf
-            sums = self._topk_sums(S, k)
+            precision = resolve_precision(precision, kernel)
+            if precision == "float32" and components32 is None:
+                components32 = components32_from(components)
+            if precision == "float32" and components32 is not None:
+                M = mask_matrix(dims_arrays, self.d, dtype=np.float32)
+                prefix = self._level_prefix(M, components32, k, exclude)
+                prefix = prefix.astype(np.float64)
+            else:
+                M = mask_matrix(dims_arrays, self.d)
+                prefix = self._level_prefix(M, components.T, k, exclude)
+            sums = self.metric.finalize_component_sums(prefix).sum(axis=1)
             self.stats.bump("gemm_flops", 2 * self.size * self.d * count)
+            self.stats.bump("gemm_masks", count)
             self.stats.knn_queries += count
             return sums
 
@@ -290,6 +333,8 @@ class LinearScanIndex:
         excludes: "Sequence[int | None] | None" = None,
         components_list: "Sequence[np.ndarray | None] | None" = None,
         kernel: str = "auto",
+        precision: str = "float64",
+        components32_list: "Sequence[np.ndarray | None] | None" = None,
     ) -> np.ndarray:
         """OD sums for every ``(query row, subspace)`` pair, ``(q, m)``.
 
@@ -299,10 +344,17 @@ class LinearScanIndex:
         single ``M @ C_batch.T`` GEMM serves every search at once. Each
         query's block of the product is then reduced exactly like the
         single-query kernel, so ``out[i]`` equals
-        ``knn_distance_sums(queries[i], ...)`` under the same kernel.
+        ``knn_distance_sums(queries[i], ...)`` under the same kernel
+        and *precision* (``"float64"`` default at this layer — the
+        miner resolves ``"auto"`` and passes the tier down explicitly;
+        under ``"float32"`` the stack concatenates the pre-transposed
+        ``(d, n)`` float32 copies — *components32_list* when supplied —
+        and any overflowing query drops the whole batch back to
+        float64).
 
         The query axis is chunked so the ``(m, chunk·n)`` product stays
-        under :data:`BATCH_CHUNK_BYTES`; chunking never changes results.
+        under :data:`BATCH_CHUNK_BYTES` at the kernel's element size;
+        chunking never changes results.
         """
         queries = validate_query_matrix(queries, self.d)
         q_count = queries.shape[0]
@@ -315,8 +367,9 @@ class LinearScanIndex:
         out = np.empty((q_count, m))
         if q_count == 0 or m == 0:
             return out
-        if components_list is None:
-            components_list = [None] * q_count
+        components_list = (
+            [None] * q_count if components_list is None else list(components_list)
+        )
 
         if kernel == "exact":
             for i in range(q_count):
@@ -331,44 +384,136 @@ class LinearScanIndex:
             return out
 
         n = self.size
-        M = mask_matrix(dims_arrays, self.d)
+        comp32 = None
+        if resolve_precision(precision, kernel) == "float32":
+            comp32 = self._batch_components32(
+                queries, components_list, components32_list
+            )
+        M = mask_matrix(
+            dims_arrays, self.d, dtype=np.float32 if comp32 is not None else np.float64
+        )
+        itemsize = M.dtype.itemsize
         # Both per-chunk intermediates — the (m, chunk·n) product and the
-        # (chunk·n, d) stacked component matrix — must fit the budget.
-        chunk = max(1, BATCH_CHUNK_BYTES // (n * max(m, self.d) * 8))
+        # stacked component matrix — must fit the budget at this dtype
+        # (float32 fits twice the queries per chunk).
+        chunk = max(1, BATCH_CHUNK_BYTES // (n * max(m, self.d) * itemsize))
         for start in range(0, q_count, chunk):
             stop = min(start + chunk, q_count)
-            parts = []
-            for i in range(start, stop):
-                C = components_list[i]
-                if C is None:
-                    C = self.metric.pairwise_components(self._X, queries[i])
-                    self._account_scan()
-                parts.append(C)
-            C_batch = parts[0] if len(parts) == 1 else np.concatenate(parts)
-            S = M @ C_batch.T  # (m, chunk·n): every search's sums at once
+            if comp32 is not None:
+                parts = comp32[start:stop]
+                right = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+            else:
+                parts = []
+                for i in range(start, stop):
+                    C = components_list[i]
+                    if C is None:
+                        C = self.metric.pairwise_components(self._X, queries[i])
+                        self._account_scan()
+                    parts.append(C)
+                C_batch = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                right = C_batch.T
+            S = M @ right  # (m, chunk·n): every search's sums at once
+            self.stats.record_peak("peak_intermediate_bytes", S.nbytes)
             for i in range(start, stop):
                 block = S[:, (i - start) * n : (i - start + 1) * n]
                 if excludes[i] is not None:
                     block[:, excludes[i]] = np.inf
                 out[i] = self._topk_sums(block, k)
         self.stats.bump("gemm_flops", 2 * n * self.d * m * q_count)
+        self.stats.bump("gemm_masks", m * q_count)
         self.stats.knn_queries += q_count * m
         return out
+
+    def _batch_components32(
+        self,
+        queries: np.ndarray,
+        components_list: "list[np.ndarray | None]",
+        components32_list: "Sequence[np.ndarray | None] | None",
+    ) -> "list[np.ndarray] | None":
+        """Per-query ``(d, n)`` float32 component stacks for the batch
+        GEMM, or ``None`` when any query's components overflow float32
+        (the whole batch then falls back to the float64 product, keeping
+        one dtype — and one fused GEMM — per chunk). Component matrices
+        built here are written back into *components_list* so a
+        fallback does not recompute them.
+        """
+        if components32_list is None:
+            components32_list = [None] * len(components_list)
+        out = []
+        for i, c32 in enumerate(components32_list):
+            if c32 is None:
+                C = components_list[i]
+                if C is None:
+                    C = self.metric.pairwise_components(self._X, queries[i])
+                    self._account_scan()
+                    components_list[i] = C
+                c32 = components32_from(C)
+            if c32 is None:
+                return None
+            out.append(c32)
+        return out
+
+    def _level_prefix(
+        self,
+        M: np.ndarray,
+        right: np.ndarray,
+        k: int,
+        exclude: int | None,
+    ) -> np.ndarray:
+        """Sorted k-prefix of every row of ``M @ right``, blocked along
+        the column (point) axis.
+
+        When the full ``(m, n)`` product fits :data:`BATCH_CHUNK_BYTES`
+        it is computed in one GEMM; otherwise column blocks are produced
+        one at a time and merged through a streaming top-k. Blocking is
+        value-identical to the unblocked kernel: a dot product's
+        reduction axis (``d``) is never split, so every element of every
+        block equals the corresponding element of the full product, and
+        the k smallest of a union of block k-prefixes is the global
+        k smallest. Peak intermediate memory is recorded on
+        ``stats.extra["peak_intermediate_bytes"]``.
+        """
+        m = M.shape[0]
+        n = right.shape[1]
+        itemsize = M.dtype.itemsize
+        topk = resolve_topk_kernel(self.topk_kernel, M.dtype)
+        block = max(k, BATCH_CHUNK_BYTES // max(1, m * itemsize))
+        if block >= n:
+            S = M @ right
+            self.stats.record_peak("peak_intermediate_bytes", S.nbytes)
+            if exclude is not None:
+                S[:, exclude] = np.inf
+            return topk_prefix(S, k, topk)
+        self.stats.record_peak("peak_intermediate_bytes", m * block * itemsize)
+        running = None
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            S = M @ right[:, start:stop]
+            if exclude is not None and start <= exclude < stop:
+                S[:, exclude - start] = np.inf
+            prefix = topk_prefix(S, min(k, stop - start), topk)
+            if running is not None:
+                merged = np.concatenate([running, prefix], axis=1)
+                prefix = topk_prefix(merged, min(k, merged.shape[1]), "partition")
+            running = prefix
+        return running
 
     def _topk_sums(self, S: np.ndarray, k: int) -> np.ndarray:
         """Reduce an ``(m, n)`` component-sum block to per-row OD sums.
 
-        Partitions each row in place (S is owned by the caller), sorts
-        the k-prefix, finalizes component sums into distances only for
-        those ``m·k`` entries — the L_p finalizers are monotone, so
-        selecting on component sums selects exactly the k nearest — and
-        sums ascending. Row layout (contiguous vs strided view) cannot
-        change the result: the sorted k-prefix is determined by values
-        alone.
+        Selects each row's sorted k-prefix with the configured top-k
+        kernel (every kernel returns identical values — see
+        :mod:`repro.index.topk`), finalizes component sums into
+        distances only for those ``m·k`` entries — the L_p finalizers
+        are monotone, so selecting on component sums selects exactly the
+        k nearest — and sums ascending in float64. ``S`` is owned by the
+        caller and may be partitioned in place; row layout (contiguous
+        vs strided view) cannot change the result, which is determined
+        by values alone.
         """
-        S.partition(k - 1, axis=1)
-        prefix = S[:, :k]
-        prefix.sort(axis=1)
+        prefix = topk_prefix(S, k, resolve_topk_kernel(self.topk_kernel, S.dtype))
+        if prefix.dtype != np.float64:
+            prefix = prefix.astype(np.float64)
         return self.metric.finalize_component_sums(prefix).sum(axis=1)
 
     def range_query(

@@ -36,9 +36,14 @@ class IndexStats:
         component matrix — reuse traffic, deliberately *not* counted as
         distance computations because no per-dimension arithmetic is
         redone), ``gemm_flops`` (floating-point operations spent in the
-        level-wide ``M @ C.T`` OD kernel) and, for the VA-file,
-        ``candidates_refined`` (points surviving the approximation
-        prefilter).
+        level-wide ``M @ C.T`` OD kernel), ``gemm_masks`` /
+        ``reverified_masks`` (masks answered by the GEMM kernel and the
+        subset re-computed exactly near the threshold — their ratio is
+        the ``reverify_fraction`` honesty counter of the precision
+        tier), ``peak_intermediate_bytes`` (high-water mark of one GEMM
+        intermediate, kept as a maximum via :meth:`record_peak`) and,
+        for the VA-file, ``candidates_refined`` (points surviving the
+        approximation prefilter).
     """
 
     node_accesses: int = 0
@@ -60,6 +65,16 @@ class IndexStats:
     def bump(self, key: str, amount: int = 1) -> None:
         """Increment a backend-specific named counter."""
         self.extra[key] = self.extra.get(key, 0) + amount
+
+    def record_peak(self, key: str, value: int) -> None:
+        """Record a high-water mark (e.g. ``peak_intermediate_bytes``).
+
+        Unlike :meth:`bump`, repeated observations keep the *maximum* —
+        the right aggregation for transient allocation sizes, where a
+        sum over calls would measure traffic, not footprint.
+        """
+        if value > self.extra.get(key, 0):
+            self.extra[key] = int(value)
 
     def snapshot(self) -> dict[str, int]:
         """Flat dict of all counters — convenient for bench tables."""

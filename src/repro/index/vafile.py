@@ -48,6 +48,7 @@ from repro.core.metrics import (
     get_metric,
     resolve_kernel,
 )
+from repro.core.precision import resolve_precision, reverify_rtol
 from repro.index.base import (
     mask_matrix,
     normalize_excludes,
@@ -272,6 +273,8 @@ class VAFile:
         exclude: int | None = None,
         components: "np.ndarray | None" = None,
         kernel: str = "exact",
+        precision: str = "float64",
+        components32: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Sum of the ``k`` smallest distances in many subspaces at once.
 
@@ -288,12 +291,20 @@ class VAFile:
         derives every subspace's bounds with two ``M @ G.T`` GEMMs; a
         tiny relative slack on the pruning comparison absorbs the BLAS
         accumulation-order difference, which can only *add* candidates,
-        never lose a true neighbour. ``kernel="exact"`` computes bounds
-        per mask exactly as :meth:`knn` does. The *components* argument
-        is accepted for interface parity and ignored — refinement always
+        never lose a true neighbour. Under ``precision="float32"`` the
+        two bound GEMMs inherit the float32 tier: gap tables are cast
+        once per call and the slack widens to the rigorous float32
+        rounding band (:func:`repro.core.precision.reverify_rtol`) on
+        *both* sides of the comparison, so the candidate set can again
+        only grow — refinement stays exact, hence values stay
+        bit-identical at any precision (overflowing gap tables or a
+        non-finite bound product silently fall back to float64).
+        ``kernel="exact"`` computes bounds per mask exactly as
+        :meth:`knn` does. The *components*/*components32* arguments are
+        accepted for interface parity and ignored — refinement always
         gathers exact rows itself.
         """
-        del components  # interface parity with LinearScanIndex
+        del components, components32  # interface parity with LinearScanIndex
         query, _ = self._validate(query, range(self.d))
         dims_arrays = validate_sums_request(
             dims_list, self._validate_dims, k, self.size, [exclude]
@@ -306,12 +317,30 @@ class VAFile:
         sums = np.empty(count)
         if kernel == "gemm":
             lower_gaps, upper_gaps = self._gap_components(query)
-            M = mask_matrix(dims_arrays, self.d)
+            precision = resolve_precision(precision, kernel)
             # Power-domain bounds for every (point, subspace) pair in
             # two GEMMs; the L_p root is monotone, so candidate
             # selection can stay in the power domain.
-            SL = M @ lower_gaps.T
-            SU = M @ upper_gaps.T
+            SL = SU = None
+            rtol = 1e-9
+            if precision == "float32":
+                L32 = np.ascontiguousarray(lower_gaps.T, dtype=np.float32)
+                U32 = np.ascontiguousarray(upper_gaps.T, dtype=np.float32)
+                if np.isfinite(L32).all() and np.isfinite(U32).all():
+                    M32 = mask_matrix(dims_arrays, self.d, dtype=np.float32)
+                    SL = M32 @ L32
+                    SU = M32 @ U32
+                    if np.isfinite(SL).all() and np.isfinite(SU).all():
+                        rtol = reverify_rtol(precision, self.d)
+                    else:
+                        SL = SU = None  # accumulation overflow: use float64
+            if SL is None:
+                M = mask_matrix(dims_arrays, self.d)
+                SL = M @ lower_gaps.T
+                SU = M @ upper_gaps.T
+            self.stats.record_peak(
+                "peak_intermediate_bytes", SL.nbytes + SU.nbytes
+            )
             if exclude is not None:
                 SL[:, exclude] = np.inf
                 SU[:, exclude] = np.inf
@@ -319,11 +348,17 @@ class VAFile:
             taus = SU[:, k - 1]
             self.stats.mindist_computations += count * self.size
             self.stats.bump("gemm_flops", 2 * 2 * self.size * self.d * count)
+            self.stats.bump("gemm_masks", count)
             for j, dims in enumerate(dims_arrays):
-                # Slack absorbs GEMM-vs-exact bound noise: loosening the
-                # filter only adds refinements, never drops a neighbour.
-                slack = 1e-9 * (taus[j] + 1.0)
-                candidates = np.flatnonzero(SL[j] <= taus[j] + slack)
+                # Slack absorbs GEMM-vs-exact bound noise (and, at
+                # float32, the full rounding band on both comparison
+                # sides): loosening the filter only adds refinements,
+                # never drops a neighbour. The negated comparison keeps
+                # non-finite bounds (gap overflow to inf can make the
+                # product NaN) on the candidate side — refinement is
+                # exact, so pathological rows cost time, never answers.
+                slack = rtol * (float(taus[j]) + 1.0)
+                candidates = np.flatnonzero(~(SL[j] > taus[j] + slack))
                 sums[j] = self._refine_sum(query, k, dims, candidates)
         else:
             for j, dims in enumerate(dims_arrays):
@@ -345,20 +380,24 @@ class VAFile:
         excludes: "Sequence[int | None] | None" = None,
         components_list: "Sequence[np.ndarray | None] | None" = None,
         kernel: str = "auto",
+        precision: str = "float64",
+        components32_list: "Sequence[np.ndarray | None] | None" = None,
     ) -> np.ndarray:
         """OD sums for every ``(query row, subspace)`` pair, ``(q, m)``.
 
         Candidate refinement is inherently query-local for a VA-file, so
         this is a loop over :meth:`knn_distance_sums` — each query still
-        gets the one-pass gap tables and two-GEMM bound derivation.
+        gets the one-pass gap tables and two-GEMM bound derivation (in
+        *precision*, resolved there against the kernel).
         """
-        del components_list  # interface parity with LinearScanIndex
+        del components_list, components32_list  # interface parity
         queries = validate_query_matrix(queries, self.d)
         excludes = normalize_excludes(excludes, queries.shape[0], self.size)
         out = np.empty((queries.shape[0], len(dims_list)))
         for i, (query, exclude) in enumerate(zip(queries, excludes)):
             out[i] = self.knn_distance_sums(
-                query, k, dims_list, exclude=exclude, kernel=kernel
+                query, k, dims_list, exclude=exclude, kernel=kernel,
+                precision=precision,
             )
         return out
 

@@ -146,9 +146,10 @@ class TestBenchCommand:
     def test_bench_list(self, capsys):
         assert main(["bench", "--list"]) == 0
         out = capsys.readouterr().out
-        for name in ("e0", "e11", "e12", "e13", "f1"):
+        for name in ("e0", "e11", "e12", "e13", "e14", "f1"):
             assert name in out
-        assert "[gated: fused_speedup,speedup]" in out  # e13's gate
+        assert "[gated: f32_speedup,fused_speedup,speedup]" in out  # e13's gate
+        assert "[gated: peak_blocked_mb]" in out  # e14's gate
 
     def test_bench_requires_name(self, capsys):
         assert main(["bench"]) == 2
