@@ -22,7 +22,7 @@ points for the ``experiment`` CLI subcommand.
 from repro.bench.experiments import ALL_EXPERIMENTS, SPECS
 from repro.bench.harness import Experiment, timed
 from repro.bench.measures import PlantedRecovery, SetScores, planted_recovery, set_scores
-from repro.bench.perf import E12_SPEC, E13_SPEC, E14_SPEC, PERF_SPECS
+from repro.bench.perf import E12_SPEC, E13_SPEC, E14_SPEC, E15_SPEC, PERF_SPECS
 from repro.bench.reporting import Table, format_value, save_json
 from repro.bench.runner import ConditionRecord, SpecResult, run_metadata, run_spec
 from repro.bench.snapshot import (
@@ -59,6 +59,7 @@ __all__ = [
     "E12_SPEC",
     "E13_SPEC",
     "E14_SPEC",
+    "E15_SPEC",
     "Experiment",
     "ExperimentSpec",
     "PERF_SPECS",

@@ -166,9 +166,26 @@ class SpecResult:
         return [row for record in self.conditions for row in record.rows]
 
     # ------------------------------------------------------------------
-    def to_experiment(self) -> Experiment:
-        """Render as the classic printed :class:`Experiment` table."""
-        rows = self.rows()
+    def to_experiment(self, latency: bool = False) -> Experiment:
+        """Render as the classic printed :class:`Experiment` table.
+
+        ``latency=True`` (the ``bench`` CLI) appends per-condition
+        ``wall_p50_ms``/``wall_p99_ms`` columns — the schema-v2 latency
+        percentiles over the measured repeats — to every row of that
+        condition. The paper-table experiments render without them.
+        """
+        if latency:
+            rows = [
+                {
+                    **row,
+                    "wall_p50_ms": record.wall_time_p50_s * 1e3,
+                    "wall_p99_ms": record.wall_time_p99_s * 1e3,
+                }
+                for record in self.conditions
+                for row in record.rows
+            ]
+        else:
+            rows = self.rows()
         columns = list(self.spec.columns)
         for row in rows:
             for key in row:

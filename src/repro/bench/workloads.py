@@ -22,6 +22,7 @@ __all__ = [
     "SEED",
     "E13_SEED",
     "E14_SEED",
+    "E15_SEED",
     "Workload",
     "planted_workload",
     "standard_miner",
@@ -42,6 +43,9 @@ E13_SEED = SEED + 13
 
 #: Seed for the E14 memory-ceiling benchmark.
 E14_SEED = SEED + 14
+
+#: Seed for the E15 sharded scatter-gather benchmark.
+E15_SEED = SEED + 15
 
 
 @dataclass(slots=True)

@@ -14,8 +14,9 @@ Subcommands
 ``batch``
     Fit on a CSV file and answer many queries at once through the
     batched multi-query engine — rows of the fitted dataset, the rows
-    of a second query CSV, or both; ``--workers`` fans the batch out to
-    worker processes.
+    of a second query CSV, or both; ``--workers``/``--shard`` fan the
+    batch out to worker processes (persistent shared-memory row shards
+    by default, whole-query splitting with ``--shard queries``).
 ``experiment``
     Run one (or all) of the paper-table experiments (f1, e0–e11) and
     print its table; ``--full`` uses the complete parameter grids,
@@ -153,8 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--all-rows", action="store_true", help="query every dataset row"
     )
     batch.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the batch (default 1 = in-process)",
+        "--workers", type=int, default=None,
+        help="worker processes for the batch (default: the HOSMINER_WORKERS "
+        "environment variable, else 1 = in-process)",
+    )
+    batch.add_argument(
+        "--shard", choices=["rows", "queries"], default=None,
+        help="multi-worker strategy: rows (default) scatters each work unit "
+        "over a persistent shared-memory shard pool, queries splits the "
+        "batch across full miner copies; answers are identical either way",
     )
     batch.add_argument("--k", type=int, default=5, help="neighbour count (default 5)")
     batch.add_argument(
@@ -381,7 +389,8 @@ def _run_batch(args: argparse.Namespace) -> int:
     if not targets:
         raise HOSMinerError("nothing to query: pass --queries, --rows or --all-rows")
 
-    result = miner.query_batch(targets, workers=args.workers)
+    result = miner.query_batch(targets, workers=args.workers, shard=args.shard)
+    miner.close()
     print(result.summary())
     if args.explain:
         for position, point_result in enumerate(result):
@@ -440,7 +449,7 @@ def _run_bench(args: argparse.Namespace) -> int:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
         result = run_spec(spec, tier=args.tier)
-        result.to_experiment().print()
+        result.to_experiment(latency=True).print()
         snapshot = result.to_snapshot()
         if not args.no_save:
             path = save_snapshot(snapshot, args.out or snapshot_path(name))

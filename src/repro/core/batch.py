@@ -35,21 +35,45 @@ returned, the per-point results are **identical** to sequential
 order — while the hot distance kernels run batch-wide and repeated work
 is shared (property-tested in ``tests/test_batch.py``).
 
-An optional ``workers=N`` mode fans the batch out to worker processes,
-each running the same in-process engine over a slice of the targets.
-Worker processes hold their own copy of the fitted miner, so cache
-sharing is per-worker; answers are unaffected.
+``workers=N`` (default from ``HOSMinerConfig.workers`` / the
+``HOSMINER_WORKERS`` environment variable) adds multiprocessing under a
+``shard=`` strategy knob:
+
+``shard="rows"`` (default)
+    The persistent scatter-gather engine (:mod:`repro.core.shard`): the
+    fitted miner owns a worker pool spawned once and reused across
+    every ``query_batch`` call, whose workers hold shared-memory row
+    shards of the dataset. The round loop above runs unchanged on the
+    coordinator, but each mask-major work unit is *scattered*: every
+    shard answers with its local sorted k-nearest distance prefixes
+    (under the fitted kernel/precision/top-k knobs) and the coordinator
+    merges them exactly — OD additivity over data points makes the
+    merged prefix identical to a full scan's. Near-threshold GEMM
+    values re-verify through a sharded *exact* round. Only masks and
+    query rows cross the pipe, so per-call shipped bytes are
+    independent of ``n``; single-query batches ride the warm pool too
+    (no silent drop to in-process). ``SearchStats`` gains
+    ``shard_round_trips`` and ``bytes_shipped``.
+
+``shard="queries"``
+    The legacy query-split fallback: each worker runs the whole
+    in-process engine over a slice of the targets against its own miner
+    copy (cache sharing is per-worker). The executor is cached on the
+    miner across calls — the miner is pickled to the workers once at
+    pool creation, not per batch.
+
+Answers are unaffected by either mode.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Sequence
 
 import numpy as np
 
+from repro.core.config import _SHARD_MODES
 from repro.core.exceptions import ConfigurationError
 from repro.core.od import ODEvaluator, SharedODCache, near_threshold
 from repro.core.precision import reverify_rtol
@@ -60,6 +84,7 @@ from repro.index.base import components32_from, validate_query_matrix
 
 if TYPE_CHECKING:
     from repro.core.miner import HOSMiner
+    from repro.core.shard import ShardPool
 
 __all__ = ["BatchQueryEngine"]
 
@@ -104,7 +129,9 @@ def _init_worker(miner: "HOSMiner") -> None:
 def _run_worker_chunk(
     queries: np.ndarray, excludes: "list[int | None]"
 ) -> tuple[list[OutlyingSubspaceResult], int, int]:
-    engine = BatchQueryEngine(_WORKER_MINER)
+    # workers=1 explicitly: a config-level HOSMINER_WORKERS>1 default
+    # must not make the chunk worker recurse into its own pool.
+    engine = BatchQueryEngine(_WORKER_MINER, workers=1)
     return engine._run_inprocess(queries, excludes)
 
 
@@ -116,25 +143,56 @@ class BatchQueryEngine:
     miner:
         A fitted :class:`~repro.core.miner.HOSMiner`.
     workers:
-        Worker processes; 1 (default) runs in-process. Multi-worker mode
-        is most useful for large batches of *external* points on
-        multi-core machines — each worker pays a one-time miner
-        transfer, then serves its slice independently.
+        Worker processes; ``None`` (default) reads the miner's
+        ``config.workers``. 1 runs in-process; above 1 the batch runs
+        through the engine selected by ``shard``.
+    shard:
+        Multi-worker strategy (``None`` reads ``config.shard``):
+        ``"rows"`` scatters each work unit over the miner's persistent
+        shared-memory shard pool, ``"queries"`` splits the batch across
+        cached full-miner worker processes.
     """
 
-    def __init__(self, miner: "HOSMiner", workers: int = 1) -> None:
+    def __init__(
+        self,
+        miner: "HOSMiner",
+        workers: "int | None" = None,
+        shard: "str | None" = None,
+    ) -> None:
+        if workers is None:
+            workers = miner.config.workers
+        if shard is None:
+            shard = miner.config.shard
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if shard not in _SHARD_MODES:
+            raise ConfigurationError(
+                f"shard must be one of {_SHARD_MODES}, got {shard!r}"
+            )
         self.miner = miner
         self.workers = workers
+        self.shard = shard
 
     # ------------------------------------------------------------------
     def run(self, targets) -> BatchResult:
         """Answer every target; see :meth:`HOSMiner.query_batch`."""
         start = time.perf_counter()
         queries, excludes = self._normalize_targets(targets)
-        if self.workers > 1 and queries.shape[0] > 1:
-            results, knn_evaluations, shared_hits = self._run_multiprocess(
+        pool: "ShardPool | None" = None
+        trips_before = bytes_before = 0
+        if self.workers > 1 and self.shard == "rows" and queries.shape[0] > 0:
+            # Single-query batches ride the warm pool too — the whole
+            # point of a persistent engine is that small batches no
+            # longer pay a spin-up, so there is nothing to dodge.
+            pool = self.miner._ensure_shard_pool(self.workers)
+            trips_before = pool.round_trips
+            bytes_before = pool.bytes_shipped
+            results, knn_evaluations, shared_hits = self._run_inprocess(
+                queries, excludes, pool=pool
+            )
+            workers = pool.workers
+        elif self.workers > 1 and queries.shape[0] > 1:
+            results, knn_evaluations, shared_hits = self._run_query_split(
                 queries, excludes
             )
             workers = min(self.workers, queries.shape[0])
@@ -144,6 +202,9 @@ class BatchQueryEngine:
             )
             workers = 1
         stats = self._aggregate_stats(results)
+        if pool is not None:
+            stats.shard_round_trips = pool.round_trips - trips_before
+            stats.bytes_shipped = pool.bytes_shipped - bytes_before
         wall_time = time.perf_counter() - start
         stats.wall_time_s = wall_time
         return BatchResult(
@@ -201,7 +262,10 @@ class BatchQueryEngine:
 
     # ------------------------------------------------------------------
     def _run_inprocess(
-        self, queries: np.ndarray, excludes: "list[int | None]"
+        self,
+        queries: np.ndarray,
+        excludes: "list[int | None]",
+        pool: "ShardPool | None" = None,
     ) -> tuple[list[OutlyingSubspaceResult], int, int]:
         miner = self.miner
         backend = miner.backend_
@@ -242,7 +306,12 @@ class BatchQueryEngine:
 
         supports_sums = hasattr(backend, "knn_distance_sums")
         supports_components = hasattr(backend, "distance_components")
-        use_gemm = kernel == "gemm" and hasattr(backend, "knn_distance_sums_batch")
+        # Mask-major group scheduling: always under the shard pool (the
+        # scatter unit IS the group), else when the GEMM kernel can
+        # stack the group into one multi-query product.
+        use_groups = pool is not None or (
+            kernel == "gemm" and hasattr(backend, "knn_distance_sums_batch")
+        )
         component_bytes = 0
         dims_cache: dict[int, np.ndarray] = {}
 
@@ -304,10 +373,77 @@ class BatchQueryEngine:
                     stats.bump("reverified_masks")
             return value
 
+        def serve_pool(members: "list[int]", masks: "list[int]") -> None:
+            """Answer a mask-major group by scattering it over the
+            persistent shard pool.
+
+            Workers return per-shard sorted k-nearest distance prefixes
+            under the fitted kernel/precision knobs; the coordinator's
+            exact k-way merge makes the summed values bit-identical to
+            the in-process kernels, so the same near-threshold band
+            triggers the same exact re-verifications — served by a
+            second scatter under ``kernel="exact"`` (itself bit-identical
+            to a sequential exact evaluation). The coordinator backend's
+            logical counters are bumped exactly as the in-process
+            kernels would have charged them, so cost accounting is
+            mode-independent.
+            """
+            dims = [dims_for(mask) for mask in masks]
+            grid = pool.scatter_sums(
+                queries[members],
+                dims,
+                k,
+                [excludes[i] for i in members],
+                kernel,
+                precision,
+            )
+            q_count, m_count = len(members), len(masks)
+            stats = getattr(backend, "stats", None)
+            if stats is not None:
+                stats.knn_queries += q_count * m_count
+                if kernel == "gemm":
+                    stats.bump(
+                        "gemm_flops",
+                        2 * backend.size * backend.d * m_count * q_count,
+                    )
+                    stats.bump("gemm_masks", m_count * q_count)
+            if kernel == "gemm":
+                for row, i in enumerate(members):
+                    near = [
+                        col
+                        for col in range(m_count)
+                        if near_threshold(
+                            float(grid[row, col]), threshold, band_rtol
+                        )
+                    ]
+                    if not near:
+                        continue
+                    grid[row, near] = pool.scatter_sums(
+                        queries[[i]],
+                        [dims[col] for col in near],
+                        k,
+                        [excludes[i]],
+                        "exact",
+                        "float64",
+                    )[0]
+                    states[i].evaluator.reverifications += len(near)
+                    if stats is not None:
+                        stats.knn_queries += len(near)
+                        stats.bump("reverified_masks", len(near))
+            for row, i in enumerate(members):
+                state = states[i]
+                for col, mask in enumerate(masks):
+                    value = float(grid[row, col])
+                    state.evaluator.prime(mask, value)
+                    state.values[mask] = value
+
         def serve_with_sums(state: _SearchState, i: int, masks: "list[int]") -> None:
             """Answer one state's masks via its knn_distance_sums kernel
             (GEMM when the miner resolved it), with exact re-verification
             of near-threshold GEMM values."""
+            if pool is not None:
+                serve_pool([i], masks)
+                return
             # Under the GEMM kernel the component matrix is consumed
             # every round (even single-mask rounds), so allocate it
             # regardless of the batch width.
@@ -372,7 +508,7 @@ class BatchQueryEngine:
             # else one multi-query knn_batch per mask (early rounds).
             by_state = supports_sums and 0 < len(needs_by_state) < len(need_map)
 
-            if use_gemm and needs_by_state:
+            if use_groups and needs_by_state:
                 # Coalesce identical query points first: the first state
                 # with a given point key computes, the rest replay
                 # through the shared cache.
@@ -389,6 +525,9 @@ class BatchQueryEngine:
                     groups.setdefault(tuple(masks), []).append(i)
                 for signature, members in groups.items():
                     masks = list(signature)
+                    if pool is not None:
+                        serve_pool(members, masks)
+                        continue
                     if len(members) == 1:
                         serve_with_sums(states[members[0]], members[0], masks)
                         continue
@@ -481,26 +620,26 @@ class BatchQueryEngine:
         return results, knn_evaluations, shared_hits
 
     # ------------------------------------------------------------------
-    def _run_multiprocess(
+    def _run_query_split(
         self, queries: np.ndarray, excludes: "list[int | None]"
     ) -> tuple[list[OutlyingSubspaceResult], int, int]:
+        """Legacy ``shard="queries"`` mode: split the batch across full
+        miner copies. The executor (and the one-time miner pickle it
+        paid at creation) is cached on the miner and reused by every
+        subsequent call."""
         m = queries.shape[0]
+        pool = self.miner._ensure_query_pool(self.workers)
         n_workers = min(self.workers, m)
         chunks = np.array_split(np.arange(m), n_workers)
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_init_worker,
-            initargs=(self.miner,),
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _run_worker_chunk,
-                    queries[chunk],
-                    [excludes[i] for i in chunk],
-                )
-                for chunk in chunks
-            ]
-            parts = [future.result() for future in futures]
+        futures = [
+            pool.submit(
+                _run_worker_chunk,
+                queries[chunk],
+                [excludes[i] for i in chunk],
+            )
+            for chunk in chunks
+        ]
+        parts = [future.result() for future in futures]
         results: list[OutlyingSubspaceResult] = []
         knn_evaluations = 0
         shared_hits = 0

@@ -20,6 +20,7 @@ __all__ = ["HOSMinerConfig"]
 
 _INDEX_BACKENDS = ("linear", "rstar", "xtree", "vafile")
 _RESELECT_MODES = ("level", "evaluation")
+_SHARD_MODES = ("rows", "queries")
 
 
 def _default_precision() -> str:
@@ -27,6 +28,20 @@ def _default_precision() -> str:
     ``HOSMINER_PRECISION`` environment variable (the CI float32 job sets
     it to run the whole suite through the float32 tier)."""
     return os.environ.get("HOSMINER_PRECISION", "auto")
+
+
+def _default_workers() -> int:
+    """Default of the ``workers`` knob; overridable via the
+    ``HOSMINER_WORKERS`` environment variable (mirroring
+    ``HOSMINER_PRECISION`` — the CI workers job sets it to run the whole
+    suite through the sharded scatter-gather engine)."""
+    raw = os.environ.get("HOSMINER_WORKERS", "1")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"HOSMINER_WORKERS must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -92,6 +107,22 @@ class HOSMinerConfig:
         ``"filter"`` and ``"numba"`` force one (``"numba"`` without
         numba silently falls back — every kernel is value-identical).
         Forwarded to backends that reduce a GEMM block (``"linear"``).
+    workers:
+        Worker processes of :meth:`~repro.core.miner.HOSMiner.query_batch`
+        (default 1 = in-process; reads the ``HOSMINER_WORKERS``
+        environment variable when set). Values above 1 route batches
+        through the execution engine selected by ``shard``. Like every
+        cost knob, answers are element-wise identical at any setting.
+    shard:
+        Multi-worker execution strategy. ``"rows"`` (default) is the
+        persistent scatter-gather engine (:mod:`repro.core.shard`):
+        workers are spawned once per fit, attach to shared-memory row
+        shards of the dataset, and every batch ships only masks + query
+        rows across the pipe; per-shard k-nearest partials are merged
+        exactly at the coordinator. ``"queries"`` is the legacy
+        query-split fallback: each worker holds a full miner copy and
+        serves a slice of the batch (the executor is still cached across
+        calls).
     """
 
     k: int = 5
@@ -108,6 +139,8 @@ class HOSMinerConfig:
     kernel: str = "auto"
     precision: str = field(default_factory=_default_precision)
     topk_kernel: str = "auto"
+    workers: int = field(default_factory=_default_workers)
+    shard: str = "rows"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -147,4 +180,10 @@ class HOSMinerConfig:
         if self.topk_kernel not in TOPK_KERNELS:
             raise ConfigurationError(
                 f"topk_kernel must be one of {TOPK_KERNELS}, got {self.topk_kernel!r}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.shard not in _SHARD_MODES:
+            raise ConfigurationError(
+                f"shard must be one of {_SHARD_MODES}, got {self.shard!r}"
             )

@@ -18,7 +18,7 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -40,6 +40,9 @@ from repro.core.search import DynamicSubspaceSearch, SearchOutcome
 from repro.core.subspace import Subspace, full_mask
 from repro.index import make_backend
 from repro.index.base import KnnBackend
+
+if TYPE_CHECKING:
+    from repro.core.shard import QuerySplitPool, ShardPool
 
 __all__ = ["HOSMiner", "calibrate_threshold"]
 
@@ -111,6 +114,8 @@ class HOSMiner:
         self._od_cache: SharedODCache | None = None
         self._kernel: str | None = None
         self._precision: str | None = None
+        self._shard_pool: "ShardPool | None" = None
+        self._query_pool: "QuerySplitPool | None" = None
         self.fit_time_s: float = 0.0
 
     # ------------------------------------------------------------------
@@ -119,6 +124,9 @@ class HOSMiner:
     def fit(self, X: np.ndarray, feature_names: list[str] | None = None) -> "HOSMiner":
         """Index the dataset, calibrate ``T`` if needed, learn the priors."""
         start = time.perf_counter()
+        # A refit invalidates everything the worker pools hold (data
+        # shards, pickled miner state); the next batch respawns them.
+        self.close()
         X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] < 2 or X.shape[1] < 1:
             raise DataShapeError(
@@ -278,8 +286,10 @@ class HOSMiner:
             self._backend.insert(row)  # type: ignore[union-attr]
         self._X = np.asarray(self._backend.data)  # type: ignore[union-attr]
         # New rows can change any point's neighbour set in any subspace,
-        # so every cached OD value is stale from here on.
+        # so every cached OD value is stale from here on. Worker pools
+        # hold pre-extend data shards / miner copies, equally stale.
         self._od_cache.invalidate()  # type: ignore[union-attr]
+        self.close()
 
         if refresh in ("threshold", "full") and self.config.threshold is None:
             self._threshold = calibrate_threshold(
@@ -341,7 +351,10 @@ class HOSMiner:
         return [self.query(target) for target in targets]
 
     def query_batch(
-        self, targets: "np.ndarray | Sequence[int | np.ndarray]", workers: int = 1
+        self,
+        targets: "np.ndarray | Sequence[int | np.ndarray]",
+        workers: "int | None" = None,
+        shard: "str | None" = None,
     ) -> BatchResult:
         """Answer many queries at once through the batched engine.
 
@@ -351,12 +364,15 @@ class HOSMiner:
         sequential :meth:`query_row`/:meth:`query_point` calls; the
         engine only restructures the work — vectorised multi-query kNN
         across concurrent searches, OD reuse through the per-fit shared
-        cache (see :attr:`od_cache_`), and optionally ``workers``
-        processes over slices of the batch. Returns a
-        :class:`~repro.core.result.BatchResult`.
+        cache (see :attr:`od_cache_`), and with ``workers > 1`` the
+        multiprocessing strategy selected by ``shard``
+        (:mod:`repro.core.batch`). Both default to the config knobs.
+        Worker pools persist on the miner across calls; :meth:`close`
+        (or the context-manager protocol) releases them eagerly.
+        Returns a :class:`~repro.core.result.BatchResult`.
         """
         self._require_fitted()
-        return BatchQueryEngine(self, workers=workers).run(targets)
+        return BatchQueryEngine(self, workers=workers, shard=shard).run(targets)
 
     def detect_outliers(
         self, max_results: int | None = None
@@ -459,6 +475,79 @@ class HOSMiner:
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError("call fit(X) before querying")
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_shard_pool(self, workers: int) -> "ShardPool":
+        """The persistent row-shard pool (``shard="rows"``), spawned on
+        first use and reused by every subsequent batch; recreated when
+        closed or when a different worker count is requested."""
+        from repro.core.shard import ShardPool
+
+        pool = self._shard_pool
+        if pool is not None and (pool.closed or pool.workers_requested != workers):
+            pool.close()
+            pool = None
+        if pool is None:
+            index_options = dict(self.config.index_options)
+            if self.config.index == "linear":
+                index_options.setdefault("topk_kernel", self.config.topk_kernel)
+            pool = ShardPool(
+                self.backend_.data,
+                workers,
+                index=self.config.index,
+                metric=self.config.metric,
+                index_options=index_options,
+            )
+            self._shard_pool = pool
+        return pool
+
+    def _ensure_query_pool(self, workers: int) -> "QuerySplitPool":
+        """The cached query-split executor (``shard="queries"``);
+        recreated when closed or when more workers are requested."""
+        from repro.core.shard import QuerySplitPool
+
+        pool = self._query_pool
+        if pool is not None and (pool.closed or pool.workers < workers):
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = QuerySplitPool(self, workers)
+            self._query_pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Release the worker pools (processes, pipes, shared memory).
+
+        Idempotent and safe on an unfitted miner. The miner itself stays
+        fully usable — a later multi-worker ``query_batch`` simply
+        spawns fresh pools. Garbage collection and interpreter exit
+        release the pools too (``weakref.finalize``), so ``close`` is
+        about promptness, not correctness.
+        """
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
+        if self._query_pool is not None:
+            self._query_pool.close()
+            self._query_pool = None
+
+    def __enter__(self) -> "HOSMiner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        # Worker pools hold processes, pipes and shared-memory handles —
+        # never picklable, never meaningful in another process. A pickled
+        # miner (e.g. shipped to a query-split worker) arrives poolless
+        # and lazily spawns its own if ever asked.
+        state = self.__dict__.copy()
+        state["_shard_pool"] = None
+        state["_query_pool"] = None
+        return state
 
     def __repr__(self) -> str:
         state = "fitted" if self._fitted else "unfitted"

@@ -189,6 +189,11 @@ class BatchResult:
             f"  pruning: {self.stats.upward_pruned} upward, "
             f"{self.stats.downward_pruned} downward",
         ]
+        if self.stats.shard_round_trips:
+            lines.append(
+                f"  shard scatter: {self.stats.shard_round_trips} round "
+                f"trip(s), {self.stats.bytes_shipped} bytes shipped"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

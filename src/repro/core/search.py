@@ -68,6 +68,12 @@ class SearchStats:
     #: Near-threshold exact re-verifications (GEMM kernel honesty
     #: counter; always 0 under the exact kernel).
     reverified: int = 0
+    #: Scatter-gather rounds through the persistent shard pool (batch
+    #: aggregate; 0 outside ``shard="rows"`` multi-worker batches).
+    shard_round_trips: int = 0
+    #: Bytes that crossed coordinator↔shard pipes (masks, query rows and
+    #: k-prefix replies — never data rows, so independent of ``n``).
+    bytes_shipped: int = 0
     wall_time_s: float = 0.0
 
     @property
@@ -81,6 +87,8 @@ class SearchStats:
             "upward_pruned": self.upward_pruned,
             "downward_pruned": self.downward_pruned,
             "reverified": self.reverified,
+            "shard_round_trips": self.shard_round_trips,
+            "bytes_shipped": self.bytes_shipped,
             "wall_time_s": self.wall_time_s,
         }
 

@@ -1,0 +1,526 @@
+"""Persistent sharded scatter-gather execution engine.
+
+OD scores are additive over data points: the sum of a query's ``k``
+smallest subspace distances depends only on the *multiset* of per-point
+distances, and the k smallest of a union of per-shard sorted k-prefixes
+is exactly the global k smallest (the same argument that makes the
+column-blocked level GEMM of
+:meth:`~repro.index.linear.LinearScanIndex._level_prefix` value-identical
+to the unblocked product — the reduction axis ``d`` is never split, so
+every per-shard distance equals the corresponding full-scan distance).
+That makes row sharding an *exact* scale-out axis, and this module is
+its runtime:
+
+:class:`ShardPool`
+    Spawned once per fitted miner and reused across every
+    ``query_batch`` call. The dataset is split into contiguous row
+    shards, each copied once into a ``multiprocessing.shared_memory``
+    segment; one long-lived worker process attaches to each segment and
+    builds a shard-local backend over the mapped rows (zero-copy for the
+    linear scan — ``np.ascontiguousarray`` of an aligned float64 view is
+    the view itself). Per round, only masks + query rows cross the pipe
+    (never data rows — ``bytes_shipped`` is counter-asserted independent
+    of ``n`` in the tests), each shard answers with its local sorted
+    k-nearest distance prefixes under the miner's ``kernel``/
+    ``precision``/top-k knobs, and the coordinator performs an exact
+    k-way streaming merge (:func:`merge_prefixes`, the PR 4 k-prefix
+    merge machinery) so every OD value is element-wise identical to the
+    sequential kernels.
+
+:class:`QuerySplitPool`
+    The legacy ``shard="queries"`` fallback — each worker holds a full
+    miner copy and serves whole queries — kept behind the same
+    persistent lifecycle so repeated batches stop paying the old
+    per-call executor spin-up and miner re-pickle.
+
+Lifecycle: both pools expose explicit ``close()`` and the context-manager
+protocol; teardown also runs via ``weakref.finalize`` (which covers both
+garbage collection and ``atexit``), guarded by the owning PID so forked
+children can never unlink a parent's live segments. ``close()`` is
+idempotent; using a closed pool raises a loud
+:class:`~repro.core.exceptions.ConfigurationError`. A worker-side
+exception is caught in the worker, shipped back, and re-raised at the
+coordinator — the pool itself survives and keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pipe, Process
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.index import make_backend
+from repro.index.base import components32_from
+from repro.index.topk import topk_prefix
+
+if TYPE_CHECKING:
+    from repro.core.miner import HOSMiner
+
+__all__ = ["ShardPool", "QuerySplitPool", "merge_prefixes", "shard_bounds"]
+
+#: Worker-side cap on cached per-query component matrices (an ``(n_s, d)``
+#: float64 block per distinct query point; hot traffic repeats points, so
+#: a small FIFO covers the working set without unbounded growth).
+COMPONENT_CACHE_ENTRIES = 64
+
+
+def shard_bounds(n: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` row ranges for up to *workers* shards.
+
+    Mirrors ``np.array_split`` sizing; shards are never empty, so fewer
+    than *workers* shards come back when ``n < workers``.
+    """
+    shards = max(1, min(workers, n))
+    base, extra = divmod(n, shards)
+    bounds = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def merge_prefixes(parts: Sequence[np.ndarray], k: int) -> np.ndarray:
+    """Exact k-way merge of per-shard sorted distance prefixes.
+
+    *parts* are ``(q, m, k)`` blocks, each row sorted ascending and
+    inf-padded where a shard holds fewer than ``k`` candidates. The k
+    smallest of the union of per-shard k-prefixes is the global
+    k-prefix, so the merged result equals what one scan of the full
+    dataset would have produced — value-identical, because every shard
+    distance equals the corresponding full-scan distance (per-row
+    arithmetic never crosses shard boundaries).
+    """
+    merged = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=-1)
+    q, m, width = merged.shape
+    if width > k:
+        flat = topk_prefix(merged.reshape(q * m, width), k, "partition")
+        merged = flat.reshape(q, m, k)
+    return merged
+
+
+def _attach_segment(name: str, n: int, d: int):
+    """Map a shard segment as an ``(n, d)`` float64 array (worker side)."""
+    # Workers are forked, so they share the coordinator's resource
+    # tracker: this attach re-registers a name the tracker already
+    # holds (a set — idempotent), and the coordinator's unlink
+    # unregisters it exactly once. No worker-side bookkeeping needed.
+    segment = shared_memory.SharedMemory(name=name)
+    rows = np.ndarray((n, d), dtype=np.float64, buffer=segment.buf)
+    return segment, rows
+
+
+def _local_prefixes(
+    backend,
+    queries: np.ndarray,
+    dims_list: "list[np.ndarray]",
+    k: int,
+    excludes: "list[int | None]",
+    kernel: str,
+    precision: str,
+    cache: dict,
+) -> np.ndarray:
+    """One shard's sorted k-nearest distance prefixes, ``(q, m, k)``.
+
+    Rows are inf-padded when the shard holds fewer than ``k`` candidate
+    points — the coordinator's merge drowns the padding in the other
+    shards' finite values. Backends with the level-wide
+    ``knn_distance_prefix`` kernel answer all masks at once (the linear
+    scan under the fitted ``kernel``/``precision`` tier, the VA-file via
+    its candidate prefilter); any other backend falls back to per-mask
+    ``knn``, which is exact by construction.
+    """
+    q_count = queries.shape[0]
+    m = len(dims_list)
+    out = np.full((q_count, m, k), np.inf)
+    prefix_fn = getattr(backend, "knn_distance_prefix", None)
+    has_components = hasattr(backend, "distance_components")
+    for i in range(q_count):
+        query = queries[i]
+        exclude = excludes[i]
+        available = backend.size - (1 if exclude is not None else 0)
+        k_local = min(k, available)
+        if k_local < 1:
+            continue
+        if prefix_fn is not None:
+            components = components32 = None
+            if has_components:
+                key = query.tobytes()
+                entry = cache.get(key)
+                if entry is None:
+                    components = backend.distance_components(query)
+                    if precision == "float32" and components is not None:
+                        components32 = components32_from(components)
+                    if len(cache) >= COMPONENT_CACHE_ENTRIES:
+                        cache.pop(next(iter(cache)))
+                    cache[key] = (components, components32)
+                else:
+                    components, components32 = entry
+            out[i, :, :k_local] = prefix_fn(
+                query,
+                k_local,
+                dims_list,
+                exclude=exclude,
+                components=components,
+                kernel=kernel,
+                precision=precision,
+                components32=components32,
+            )
+        else:
+            for j, dims in enumerate(dims_list):
+                _, distances = backend.knn(query, k_local, dims, exclude=exclude)
+                out[i, j, : distances.size] = distances
+    return out
+
+
+def _shard_worker(conn, segment_name: str, n: int, d: int, spec: dict) -> None:
+    """Long-lived shard worker: attach, build the local backend, serve.
+
+    Any exception inside a work unit is shipped back as an ``("err",
+    exc)`` reply instead of killing the process, so the pool survives
+    malformed requests. A ``None`` message is the shutdown sentinel.
+    """
+    segment, rows = _attach_segment(segment_name, n, d)
+    backend = make_backend(
+        spec["index"], rows, metric=spec["metric"], **spec["index_options"]
+    )
+    cache: dict = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            try:
+                queries, dims_list, k, excludes, kernel, precision = message
+                reply = (
+                    "ok",
+                    _local_prefixes(
+                        backend, queries, dims_list, k, excludes, kernel,
+                        precision, cache,
+                    ),
+                )
+            except Exception as exc:  # ship it back; the pool survives
+                reply = ("err", exc)
+            try:
+                conn.send(reply)
+            except Exception:
+                # Unpicklable payload (exotic exception): degrade to a
+                # picklable stand-in rather than desynchronise the pipe.
+                conn.send(("err", ConfigurationError(repr(reply[1]))))
+    finally:
+        conn.close()
+        backend = None
+        rows = None
+        cache.clear()
+        try:
+            segment.close()
+        except BufferError:
+            # A lingering view keeps the mapping alive; process exit
+            # releases it either way.
+            pass
+
+
+def _release_shards(owner_pid, conns, procs, segments) -> None:
+    """Tear down workers and unlink segments (coordinator side only).
+
+    Runs at most once per pool via ``weakref.finalize`` — explicit
+    ``close()``, garbage collection and ``atexit`` all funnel here. The
+    PID guard keeps forked children (the query-split workers inherit the
+    parent's pool handles) from unlinking segments they do not own.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for conn in conns:
+        try:
+            conn.send(None)
+        except Exception:
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+
+
+class ShardPool:
+    """Persistent row-sharded worker pool with shared-memory shards.
+
+    Parameters
+    ----------
+    X:
+        The fitted ``(n, d)`` dataset; rows are copied once into one
+        shared-memory segment per shard (the only time data moves).
+    workers:
+        Requested shard count; capped at ``n`` (shards are never empty).
+        :attr:`workers` reports the actual count.
+    index, metric, index_options:
+        Shard-local backend construction, mirroring the miner's fit.
+
+    The pool is kernel-agnostic: every scatter carries its own
+    ``kernel``/``precision`` pair, so the engine can run GEMM rounds and
+    exact re-verification rounds through the same workers.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        workers: int,
+        *,
+        index: str = "linear",
+        metric: object = "euclidean",
+        index_options: "dict | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0 or X.shape[1] == 0:
+            raise ConfigurationError(
+                f"expected a non-empty (n, d) matrix, got shape {X.shape}"
+            )
+        self.workers_requested = workers
+        self.n, self.d = X.shape
+        self._bounds = shard_bounds(self.n, workers)
+        self.round_trips = 0
+        self.bytes_shipped = 0
+        spec = {
+            "index": index,
+            "metric": metric,
+            "index_options": dict(index_options or {}),
+        }
+
+        segments: list[shared_memory.SharedMemory] = []
+        conns = []
+        procs: list[Process] = []
+        try:
+            for lo, hi in self._bounds:
+                block = X[lo:hi]
+                segment = shared_memory.SharedMemory(
+                    create=True, size=block.nbytes
+                )
+                view = np.ndarray(block.shape, dtype=np.float64, buffer=segment.buf)
+                view[:] = block
+                del view
+                parent_conn, child_conn = Pipe()
+                proc = Process(
+                    target=_shard_worker,
+                    args=(child_conn, segment.name, hi - lo, self.d, spec),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                segments.append(segment)
+                conns.append(parent_conn)
+                procs.append(proc)
+        except Exception:
+            _release_shards(os.getpid(), conns, procs, segments)
+            raise
+        self._segments = segments
+        self._conns = conns
+        self._procs = procs
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _release_shards, os.getpid(), conns, procs, segments
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Actual shard count (``min(workers_requested, n)``)."""
+        return len(self._bounds)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def segment_names(self) -> list[str]:
+        """Names of the shared-memory segments (for leak assertions)."""
+        return [segment.name for segment in self._segments]
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "ShardPool is closed — create a new pool (HOSMiner spawns "
+                "one automatically on the next query_batch call)"
+            )
+
+    # ------------------------------------------------------------------
+    def scatter_prefixes(
+        self,
+        queries: np.ndarray,
+        dims_list: "Sequence[np.ndarray]",
+        k: int,
+        excludes: "Sequence[int | None]",
+        kernel: str,
+        precision: str,
+    ) -> np.ndarray:
+        """One scatter-gather round: merged ``(q, m, k)`` global prefixes.
+
+        Ships ``(queries, masks)`` to every shard, gathers per-shard
+        sorted k-nearest partials and merges them exactly. Shipped bytes
+        (request broadcast + replies) accumulate on
+        :attr:`bytes_shipped`; each call counts one
+        :attr:`round_trips`. Worker exceptions are re-raised here after
+        *all* replies are drained, keeping every pipe in sync — the pool
+        stays usable.
+        """
+        self._require_open()
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        dims_list = [np.asarray(dims, dtype=np.intp) for dims in dims_list]
+        excludes = list(excludes)
+        request_bytes = queries.nbytes + sum(dims.nbytes for dims in dims_list)
+        shipped = 0
+        for s, conn in enumerate(self._conns):
+            lo, hi = self._bounds[s]
+            local = [
+                ex - lo if ex is not None and lo <= ex < hi else None
+                for ex in excludes
+            ]
+            try:
+                conn.send((queries, dims_list, k, local, kernel, precision))
+            except (BrokenPipeError, OSError) as exc:
+                self.close()
+                raise ConfigurationError(
+                    f"shard worker {s} is gone ({exc!r}); pool closed"
+                ) from exc
+            shipped += request_bytes
+        parts: list[np.ndarray] = []
+        errors: list[Exception] = []
+        for s, conn in enumerate(self._conns):
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                self.close()
+                raise ConfigurationError(
+                    f"shard worker {s} died mid-round ({exc!r}); pool closed"
+                ) from exc
+            if status == "ok":
+                parts.append(payload)
+                shipped += payload.nbytes
+            else:
+                errors.append(payload)
+        self.round_trips += 1
+        self.bytes_shipped += shipped
+        if errors:
+            raise errors[0]
+        return merge_prefixes(parts, k)
+
+    def scatter_sums(
+        self,
+        queries: np.ndarray,
+        dims_list: "Sequence[np.ndarray]",
+        k: int,
+        excludes: "Sequence[int | None]",
+        kernel: str,
+        precision: str,
+    ) -> np.ndarray:
+        """Merged OD sums, ``(q, m)`` — ascending sums of the global
+        k-prefixes, the same accumulation order as the sequential
+        kernels (hence the same float64 result)."""
+        prefixes = self.scatter_prefixes(
+            queries, dims_list, k, excludes, kernel, precision
+        )
+        return prefixes.sum(axis=-1)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Idempotent teardown: stop workers, close + unlink segments."""
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ShardPool({state}, workers={self.workers}, n={self.n}, "
+            f"d={self.d}, round_trips={self.round_trips})"
+        )
+
+
+def _shutdown_executor(owner_pid: int, executor: ProcessPoolExecutor) -> None:
+    """Finalizer of the query-split executor (PID-guarded like shards)."""
+    if os.getpid() != owner_pid:
+        return
+    executor.shutdown(wait=True, cancel_futures=True)
+
+
+class QuerySplitPool:
+    """Persistent executor for the ``shard="queries"`` fallback.
+
+    The miner is shipped to each worker exactly once, through the
+    executor initializer, when the pool is created — not per
+    ``query_batch`` call as the old engine did. Subsequent batches only
+    ship ``(queries, excludes)`` slices. The owning miner closes the
+    pool whenever its fitted state changes (refit / ``extend``), so a
+    live pool never serves a stale miner.
+    """
+
+    def __init__(self, miner: "HOSMiner", workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        from repro.core.batch import _init_worker
+
+        self.workers = workers
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(miner,)
+        )
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _shutdown_executor, os.getpid(), self._executor
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, fn, *args):
+        if self._closed:
+            raise ConfigurationError(
+                "QuerySplitPool is closed — create a new pool (HOSMiner "
+                "spawns one automatically on the next query_batch call)"
+            )
+        return self._executor.submit(fn, *args)
+
+    def close(self) -> None:
+        """Idempotent executor shutdown."""
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "QuerySplitPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"QuerySplitPool({state}, workers={self.workers})"

@@ -265,6 +265,44 @@ class LinearScanIndex:
         to the float64 kernel. Data whose components overflow float32
         silently falls back to the float64 product.
         """
+        prefixes = self.knn_distance_prefix(
+            query,
+            k,
+            dims_list,
+            exclude=exclude,
+            components=components,
+            kernel=kernel,
+            precision=precision,
+            components32=components32,
+        )
+        # Ascending sum over each sorted prefix row — the exact
+        # accumulation order of the sorted kNN result.
+        return prefixes.sum(axis=1)
+
+    def knn_distance_prefix(
+        self,
+        query: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        exclude: int | None = None,
+        components: "np.ndarray | None" = None,
+        kernel: str = "exact",
+        precision: str = "float64",
+        components32: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Sorted k-nearest *distances* per subspace, shape ``(m, k)``.
+
+        The shard partial behind :meth:`knn_distance_sums` (which is
+        exactly ``prefix.sum(axis=1)``) and the scatter-gather engine
+        (:mod:`repro.core.shard`): because the ``k`` smallest of a union
+        of per-shard sorted k-prefixes is the global k smallest, a
+        coordinator can merge these rows across row shards and recover
+        values identical to one full scan. Kernels and *precision*
+        behave exactly as documented on :meth:`knn_distance_sums`; under
+        the GEMM kernel the selection happens on component sums and the
+        monotone L_p finalizer maps the prefix to distances afterwards,
+        so the returned rows are ascending under either kernel.
+        """
         query = np.asarray(query, dtype=np.float64)
         if query.shape != (self.d,):
             raise DataShapeError(
@@ -276,7 +314,7 @@ class LinearScanIndex:
         kernel = resolve_kernel(kernel, self.metric)
         count = len(dims_arrays)
         if count == 0:
-            return np.empty(0)
+            return np.empty((0, k))
 
         if kernel == "gemm":
             if components is None:
@@ -292,13 +330,13 @@ class LinearScanIndex:
             else:
                 M = mask_matrix(dims_arrays, self.d)
                 prefix = self._level_prefix(M, components.T, k, exclude)
-            sums = self.metric.finalize_component_sums(prefix).sum(axis=1)
+            out = self.metric.finalize_component_sums(prefix)
             self.stats.bump("gemm_flops", 2 * self.size * self.d * count)
             self.stats.bump("gemm_masks", count)
             self.stats.knn_queries += count
-            return sums
+            return out
 
-        sums = np.empty(count)
+        out = np.empty((count, k))
         gathered_terms = 0
         for j, dims in enumerate(dims_arrays):
             if components is not None:
@@ -310,12 +348,12 @@ class LinearScanIndex:
             if exclude is not None:
                 distances[exclude] = np.inf
             # In-place partition + sort of the k-prefix: `distances` is a
-            # fresh array, and summing the k smallest ascending matches
-            # the sorted kNN result's accumulation exactly.
+            # fresh array, and the sorted k smallest match the sorted kNN
+            # result's value sequence exactly.
             distances.partition(k - 1)
             smallest = distances[:k]
             smallest.sort()
-            sums[j] = smallest.sum()
+            out[j] = smallest
         if gathered_terms:
             # Component reuse redoes no per-dimension work — it re-reads
             # cached terms. Charging a full scan here (as the first
@@ -323,7 +361,7 @@ class LinearScanIndex:
             # so gathers get their own counter.
             self.stats.bump("component_gathers", gathered_terms)
         self.stats.knn_queries += count
-        return sums
+        return out
 
     def knn_distance_sums_batch(
         self,

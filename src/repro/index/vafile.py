@@ -315,6 +315,75 @@ class VAFile:
             return np.empty(0)
 
         sums = np.empty(count)
+        candidates_list = self._mask_candidates(
+            query, k, dims_arrays, exclude, kernel, precision
+        )
+        for j, dims in enumerate(dims_arrays):
+            sums[j] = float(
+                self._refine_prefix(query, k, dims, candidates_list[j]).sum()
+            )
+        self.stats.knn_queries += count
+        return sums
+
+    def knn_distance_prefix(
+        self,
+        query: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        exclude: int | None = None,
+        components: "np.ndarray | None" = None,
+        kernel: str = "exact",
+        precision: str = "float64",
+        components32: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Sorted k-nearest *distances* per subspace, shape ``(m, k)``.
+
+        The VA-file's shard partial for the scatter-gather engine
+        (:mod:`repro.core.shard`): a shard-local view runs the same
+        approximation-file candidate prefilter as
+        :meth:`knn_distance_sums` (under either bound *kernel* and
+        *precision*), refines the survivors exactly, and hands the
+        coordinator its sorted k-prefix — candidate partials whose
+        cross-shard merge is the global exact prefix, because refinement
+        is exact per row and never crosses shard boundaries.
+        ``knn_distance_sums`` is exactly ``prefix.sum(axis=1)``.
+        """
+        del components, components32  # interface parity with LinearScanIndex
+        query, _ = self._validate(query, range(self.d))
+        dims_arrays = validate_sums_request(
+            dims_list, self._validate_dims, k, self.size, [exclude]
+        )
+        kernel = resolve_kernel(kernel, self.metric)
+        count = len(dims_arrays)
+        if count == 0:
+            return np.empty((0, k))
+
+        out = np.empty((count, k))
+        candidates_list = self._mask_candidates(
+            query, k, dims_arrays, exclude, kernel, precision
+        )
+        for j, dims in enumerate(dims_arrays):
+            out[j] = self._refine_prefix(query, k, dims, candidates_list[j])
+        self.stats.knn_queries += count
+        return out
+
+    def _mask_candidates(
+        self,
+        query: np.ndarray,
+        k: int,
+        dims_arrays: "list[np.ndarray]",
+        exclude: int | None,
+        kernel: str,
+        precision: str,
+    ) -> "list[np.ndarray]":
+        """Per-mask candidate supersets of the true kNN (bounds prefilter).
+
+        The shared front half of :meth:`knn_distance_sums` and
+        :meth:`knn_distance_prefix` — see the sums docstring for the
+        bound derivation and the float32 slack argument.
+        """
+        count = len(dims_arrays)
+        candidates_list: list[np.ndarray] = []
         if kernel == "gemm":
             lower_gaps, upper_gaps = self._gap_components(query)
             precision = resolve_precision(precision, kernel)
@@ -349,7 +418,7 @@ class VAFile:
             self.stats.mindist_computations += count * self.size
             self.stats.bump("gemm_flops", 2 * 2 * self.size * self.d * count)
             self.stats.bump("gemm_masks", count)
-            for j, dims in enumerate(dims_arrays):
+            for j in range(count):
                 # Slack absorbs GEMM-vs-exact bound noise (and, at
                 # float32, the full rounding band on both comparison
                 # sides): loosening the filter only adds refinements,
@@ -358,19 +427,18 @@ class VAFile:
                 # product NaN) on the candidate side — refinement is
                 # exact, so pathological rows cost time, never answers.
                 slack = rtol * (float(taus[j]) + 1.0)
-                candidates = np.flatnonzero(~(SL[j] > taus[j] + slack))
-                sums[j] = self._refine_sum(query, k, dims, candidates)
+                candidates_list.append(
+                    np.flatnonzero(~(SL[j] > taus[j] + slack))
+                )
         else:
-            for j, dims in enumerate(dims_arrays):
+            for dims in dims_arrays:
                 lower, upper = self._bounds(query, dims)
                 if exclude is not None:
                     lower[exclude] = np.inf
                     upper[exclude] = np.inf
                 tau = np.partition(upper, k - 1)[k - 1]
-                candidates = np.flatnonzero(lower <= tau)
-                sums[j] = self._refine_sum(query, k, dims, candidates)
-        self.stats.knn_queries += count
-        return sums
+                candidates_list.append(np.flatnonzero(lower <= tau))
+        return candidates_list
 
     def knn_distance_sums_batch(
         self,
@@ -401,10 +469,10 @@ class VAFile:
             )
         return out
 
-    def _refine_sum(
+    def _refine_prefix(
         self, query: np.ndarray, k: int, dims: np.ndarray, candidates: np.ndarray
-    ) -> float:
-        """Exact OD sum over a candidate superset of the true kNN."""
+    ) -> np.ndarray:
+        """Exact sorted k-nearest distances over a candidate superset."""
         self.stats.bump("candidates_refined", int(candidates.size))
         distances = self.metric.pairwise(self._X[candidates], query, dims)
         self.stats.distance_computations += int(candidates.size)
@@ -412,7 +480,7 @@ class VAFile:
         distances.partition(k - 1)
         smallest = distances[:k]
         smallest.sort()
-        return float(smallest.sum())
+        return smallest
 
     def _gap_components(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Per-dimension power-domain gap tables, each ``(n, d)``.

@@ -146,10 +146,12 @@ class TestBenchCommand:
     def test_bench_list(self, capsys):
         assert main(["bench", "--list"]) == 0
         out = capsys.readouterr().out
-        for name in ("e0", "e11", "e12", "e13", "e14", "f1"):
+        for name in ("e0", "e11", "e12", "e13", "e14", "e15", "f1"):
             assert name in out
         assert "[gated: f32_speedup,fused_speedup,speedup]" in out  # e13's gate
         assert "[gated: peak_blocked_mb]" in out  # e14's gate
+        # e15's gate: the warm-pool ratio plus the deterministic wire counters
+        assert "[gated: bytes_shipped,persist_speedup,round_trips]" in out
 
     def test_bench_requires_name(self, capsys):
         assert main(["bench"]) == 2

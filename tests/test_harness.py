@@ -193,6 +193,19 @@ class TestRunSpec:
         experiment = run_spec(spec, tier="full").to_experiment()
         assert experiment.notes.count("shared footnote") == 1
 
+    def test_latency_columns_opt_in(self):
+        result = run_spec(_spec(), tier="full")
+        plain = result.to_experiment()
+        assert "wall_p50_ms" not in plain.columns  # paper tables stay clean
+        timed = result.to_experiment(latency=True)
+        assert timed.columns[-2:] == ["wall_p50_ms", "wall_p99_ms"]
+        # Every row carries its own condition's percentiles, in ms.
+        from repro.bench.reporting import format_value
+
+        p50s = [row["wall_p50_ms"] for row in timed.table.as_records()]
+        for record in result.conditions:
+            assert format_value(record.wall_time_p50_s * 1e3) in p50s
+
     def test_counters_from_last_measured_repeat(self):
         ticks = {"i": 0}
 
@@ -345,7 +358,7 @@ class TestCompareSnapshots:
 # Committed baselines stay loadable and coherent with their specs
 # ----------------------------------------------------------------------
 class TestCommittedBaselines:
-    @pytest.mark.parametrize("name", ["e12", "e13"])
+    @pytest.mark.parametrize("name", ["e12", "e13", "e14", "e15"])
     def test_committed_snapshot_matches_spec(self, name):
         from pathlib import Path
 
