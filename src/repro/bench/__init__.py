@@ -12,7 +12,7 @@ Layered bottom-up (see ``docs/benchmarking.md``):
   :mod:`repro.bench.reporting` / :mod:`repro.bench.harness` — shared
   inputs, quality measures, and table rendering.
 - :mod:`repro.bench.experiments` (paper tables f1, e0–e11) and
-  :mod:`repro.bench.perf` (perf trajectory e12/e13/e14) — the specs.
+  :mod:`repro.bench.perf` (perf trajectory e12–e16) — the specs.
 
 :data:`ALL_SPECS` is the merged registry driven by ``repro bench``;
 :data:`ALL_EXPERIMENTS` keeps the classic ``eN(fast=True)`` entry
@@ -22,7 +22,14 @@ points for the ``experiment`` CLI subcommand.
 from repro.bench.experiments import ALL_EXPERIMENTS, SPECS
 from repro.bench.harness import Experiment, timed
 from repro.bench.measures import PlantedRecovery, SetScores, planted_recovery, set_scores
-from repro.bench.perf import E12_SPEC, E13_SPEC, E14_SPEC, E15_SPEC, PERF_SPECS
+from repro.bench.perf import (
+    E12_SPEC,
+    E13_SPEC,
+    E14_SPEC,
+    E15_SPEC,
+    E16_SPEC,
+    PERF_SPECS,
+)
 from repro.bench.reporting import Table, format_value, save_json
 from repro.bench.runner import ConditionRecord, SpecResult, run_metadata, run_spec
 from repro.bench.snapshot import (
@@ -60,6 +67,7 @@ __all__ = [
     "E13_SPEC",
     "E14_SPEC",
     "E15_SPEC",
+    "E16_SPEC",
     "Experiment",
     "ExperimentSpec",
     "PERF_SPECS",

@@ -165,15 +165,16 @@ def make_traffic(workload: Workload, m: int, hot_fraction: float = 0.3) -> list:
     return targets[:m]
 
 
-def small_batch_setup():
+def small_batch_setup(**overrides):
     """The E12 pytest-benchmark twin setup: a small fixed batch.
 
     Returns ``(miner, targets)`` for 64 traffic-shaped queries on an
     n=600, d=8 workload — big enough to exercise the batch engine,
-    small enough for per-round benchmark timing.
+    small enough for per-round benchmark timing. Keyword *overrides*
+    reach the miner config (the E16 twins arm supervision deadlines).
     """
     workload = planted_workload(n=600, d=8, seed_offset=12)
-    miner = standard_miner(workload, threshold_quantile=0.9)
+    miner = standard_miner(workload, threshold_quantile=0.9, **overrides)
     targets = make_traffic(workload, 64)
     return miner, targets
 

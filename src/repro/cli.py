@@ -164,6 +164,23 @@ def build_parser() -> argparse.ArgumentParser:
         "over a persistent shared-memory shard pool, queries splits the "
         "batch across full miner copies; answers are identical either way",
     )
+    batch.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="reply deadline per shard round in seconds (default: the "
+        "HOSMINER_TIMEOUT_S environment variable, else 30; <= 0 disables "
+        "deadlines); a hung worker is killed, respawned and the round "
+        "replayed, so answers are unaffected",
+    )
+    batch.add_argument(
+        "--max-retries", type=int, default=None,
+        help="respawn-and-replay attempts per shard per round before the "
+        "shard is served in-process via the sequential kernels (default 2)",
+    )
+    batch.add_argument(
+        "--backoff-s", type=float, default=None,
+        help="first exponential-backoff sleep between respawn attempts "
+        "(default 0.05; doubles per attempt)",
+    )
     batch.add_argument("--k", type=int, default=5, help="neighbour count (default 5)")
     batch.add_argument(
         "--threshold", type=float, default=None,
@@ -353,6 +370,14 @@ def _run_batch(args: argparse.Namespace) -> int:
     dataset = load_csv(args.csv)
     scaler = ZScoreScaler().fit(dataset.X) if args.normalize else None
     X = scaler.transform(dataset.X) if scaler is not None else dataset.X
+    supervision: dict = {}
+    if args.timeout_s is not None:
+        # <= 0 on the CLI means "disable deadlines" (None internally).
+        supervision["timeout_s"] = args.timeout_s if args.timeout_s > 0 else None
+    if args.max_retries is not None:
+        supervision["max_retries"] = args.max_retries
+    if args.backoff_s is not None:
+        supervision["backoff_s"] = args.backoff_s
     miner = HOSMiner(
         k=args.k,
         threshold=args.threshold,
@@ -362,6 +387,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         precision=args.precision,
         topk_kernel=args.topk_kernel,
+        **supervision,
     ).fit(X, feature_names=dataset.feature_names)
     print(
         f"fitted on {dataset.n} rows x {dataset.d} columns; "

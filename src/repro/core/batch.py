@@ -180,6 +180,7 @@ class BatchQueryEngine:
         queries, excludes = self._normalize_targets(targets)
         pool: "ShardPool | None" = None
         trips_before = bytes_before = 0
+        respawns_before = retries_before = timeouts_before = degraded_before = 0
         if self.workers > 1 and self.shard == "rows" and queries.shape[0] > 0:
             # Single-query batches ride the warm pool too — the whole
             # point of a persistent engine is that small batches no
@@ -187,6 +188,10 @@ class BatchQueryEngine:
             pool = self.miner._ensure_shard_pool(self.workers)
             trips_before = pool.round_trips
             bytes_before = pool.bytes_shipped
+            respawns_before = pool.respawns
+            retries_before = pool.retries
+            timeouts_before = pool.timeouts
+            degraded_before = pool.degraded_rounds
             results, knn_evaluations, shared_hits = self._run_inprocess(
                 queries, excludes, pool=pool
             )
@@ -205,6 +210,10 @@ class BatchQueryEngine:
         if pool is not None:
             stats.shard_round_trips = pool.round_trips - trips_before
             stats.bytes_shipped = pool.bytes_shipped - bytes_before
+            stats.worker_respawns = pool.respawns - respawns_before
+            stats.retries = pool.retries - retries_before
+            stats.timeouts = pool.timeouts - timeouts_before
+            stats.degraded_rounds = pool.degraded_rounds - degraded_before
         wall_time = time.perf_counter() - start
         stats.wall_time_s = wall_time
         return BatchResult(

@@ -30,6 +30,28 @@ def _default_precision() -> str:
     return os.environ.get("HOSMINER_PRECISION", "auto")
 
 
+def _default_timeout() -> "float | None":
+    """Default of the ``timeout_s`` knob; overridable via the
+    ``HOSMINER_TIMEOUT_S`` environment variable (the CI chaos job sets a
+    short deadline so injected hangs recover fast). ``""``, ``"none"``,
+    ``"off"`` and ``"0"`` disable deadlines entirely."""
+    raw = os.environ.get("HOSMINER_TIMEOUT_S")
+    if raw is None:
+        return 30.0
+    if raw.strip().lower() in ("", "none", "off", "0"):
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"HOSMINER_TIMEOUT_S must be a number (or none/off/0 to "
+            f"disable deadlines), got {raw!r}"
+        ) from None
+    if value <= 0:
+        return None
+    return value
+
+
 def _default_workers() -> int:
     """Default of the ``workers`` knob; overridable via the
     ``HOSMINER_WORKERS`` environment variable (mirroring
@@ -123,6 +145,24 @@ class HOSMinerConfig:
         query-split fallback: each worker holds a full miner copy and
         serves a slice of the batch (the executor is still cached across
         calls).
+    timeout_s:
+        Reply deadline of one shard scatter round (and of the
+        post-respawn health ping) in the ``shard="rows"`` engine.
+        Default 30 s; reads the ``HOSMINER_TIMEOUT_S`` environment
+        variable when set (``none``/``off``/``0`` disable deadlines —
+        a hung worker then blocks its round forever). On expiry the
+        hung worker is killed, respawned against its existing
+        shared-memory segment, and the round is replayed; answers are
+        unaffected at any setting.
+    max_retries:
+        Respawn-and-replay attempts per shard per round before the
+        shard is declared irrecoverable and its row slice is served
+        in-process through the sequential kernels (graceful
+        degradation — still element-wise identical, just slower).
+    backoff_s:
+        First exponential-backoff sleep between respawn attempts
+        (doubles per attempt, capped at
+        :data:`repro.core.shard.BACKOFF_CAP_S`).
     """
 
     k: int = 5
@@ -141,6 +181,9 @@ class HOSMinerConfig:
     topk_kernel: str = "auto"
     workers: int = field(default_factory=_default_workers)
     shard: str = "rows"
+    timeout_s: float | None = field(default_factory=_default_timeout)
+    max_retries: int = 2
+    backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -186,4 +229,17 @@ class HOSMinerConfig:
         if self.shard not in _SHARD_MODES:
             raise ConfigurationError(
                 f"shard must be one of {_SHARD_MODES}, got {self.shard!r}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive (or None to disable "
+                f"deadlines), got {self.timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
             )

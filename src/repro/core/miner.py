@@ -499,6 +499,9 @@ class HOSMiner:
                 index=self.config.index,
                 metric=self.config.metric,
                 index_options=index_options,
+                timeout_s=self.config.timeout_s,
+                max_retries=self.config.max_retries,
+                backoff_s=self.config.backoff_s,
             )
             self._shard_pool = pool
         return pool

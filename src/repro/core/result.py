@@ -194,6 +194,19 @@ class BatchResult:
                 f"  shard scatter: {self.stats.shard_round_trips} round "
                 f"trip(s), {self.stats.bytes_shipped} bytes shipped"
             )
+        faults = (
+            self.stats.worker_respawns
+            + self.stats.timeouts
+            + self.stats.retries
+            + self.stats.degraded_rounds
+        )
+        if faults:
+            lines.append(
+                f"  fault recovery: {self.stats.worker_respawns} worker "
+                f"respawn(s), {self.stats.timeouts} timeout(s), "
+                f"{self.stats.retries} replay retrie(s), "
+                f"{self.stats.degraded_rounds} degraded shard-round(s)"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

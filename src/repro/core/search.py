@@ -74,6 +74,16 @@ class SearchStats:
     #: Bytes that crossed coordinator↔shard pipes (masks, query rows and
     #: k-prefix replies — never data rows, so independent of ``n``).
     bytes_shipped: int = 0
+    #: Dead or hung shard workers respawned onto their existing
+    #: shared-memory segments during this batch (0 on a healthy pool).
+    worker_respawns: int = 0
+    #: Respawn-and-replay attempts (each replays an in-flight round).
+    retries: int = 0
+    #: Reply deadlines (``timeout_s``) that expired on hung workers.
+    timeouts: int = 0
+    #: Shard-rounds served in-process after a shard became
+    #: irrecoverable (graceful degradation; answers unchanged).
+    degraded_rounds: int = 0
     wall_time_s: float = 0.0
 
     @property
@@ -89,6 +99,10 @@ class SearchStats:
             "reverified": self.reverified,
             "shard_round_trips": self.shard_round_trips,
             "bytes_shipped": self.bytes_shipped,
+            "worker_respawns": self.worker_respawns,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "degraded_rounds": self.degraded_rounds,
             "wall_time_s": self.wall_time_s,
         }
 

@@ -1,4 +1,4 @@
-"""Persistent sharded scatter-gather execution engine.
+"""Persistent sharded scatter-gather execution engine, fault-tolerant.
 
 OD scores are additive over data points: the sum of a query's ``k``
 smallest subspace distances depends only on the *multiset* of per-point
@@ -23,9 +23,8 @@ its runtime:
     of ``n`` in the tests), each shard answers with its local sorted
     k-nearest distance prefixes under the miner's ``kernel``/
     ``precision``/top-k knobs, and the coordinator performs an exact
-    k-way streaming merge (:func:`merge_prefixes`, the PR 4 k-prefix
-    merge machinery) so every OD value is element-wise identical to the
-    sequential kernels.
+    k-way streaming merge (:func:`merge_prefixes`) so every OD value is
+    element-wise identical to the sequential kernels.
 
 :class:`QuerySplitPool`
     The legacy ``shard="queries"`` fallback — each worker holds a full
@@ -33,19 +32,62 @@ its runtime:
     persistent lifecycle so repeated batches stop paying the old
     per-call executor spin-up and miner re-pickle.
 
+Fault tolerance (the supervision triad)
+---------------------------------------
+A production pool cannot let one bad process take down every in-flight
+query, so the coordinator supervises its workers:
+
+*Supervision & respawn.* A dead worker is detected three ways — a send
+on a broken pipe, an ``EOFError``/``OSError`` on the reply read, or a
+failed health :meth:`~ShardPool.ping` — and is respawned attached to
+the *existing* shared-memory segment for its row slice (the data never
+moves twice). The in-flight round is replayed to the fresh worker, so
+the caller never sees the crash; answers are identical because every
+round is a pure function of its request.
+
+*Deadlines & retries.* Replies are awaited with ``poll()``-based
+deadlines (``timeout_s``; ``None`` disables them) instead of a blocking
+``recv()``, so a *hung* worker is killed and respawned rather than
+wedging the coordinator forever. Each respawn-and-replay attempt backs
+off exponentially from ``backoff_s`` up to ``max_retries`` attempts per
+shard per round.
+
+*Graceful degradation.* A shard that exhausts its retry budget is
+marked irrecoverable: the coordinator attaches its own view of that
+shard's segment and serves the slice in-process through the same
+sequential kernels the worker would have run (:func:`_local_prefixes`
+— literally the same function), so answers stay element-wise identical
+while throughput, not correctness, absorbs the loss. Every such round
+is recorded as a degraded-round event.
+
+All of it is observable: :attr:`~ShardPool.respawns`,
+:attr:`~ShardPool.timeouts`, :attr:`~ShardPool.retries` and
+:attr:`~ShardPool.degraded_rounds` accumulate on the pool, are mirrored
+per batch into ``SearchStats`` and show up in
+``BatchResult.summary()``. Failures are injectable deterministically
+via :mod:`repro.testing.faults` (``HOSMINER_FAULTS``), which drives the
+chaos test suite and the E16 robustness benchmark.
+
 Lifecycle: both pools expose explicit ``close()`` and the context-manager
 protocol; teardown also runs via ``weakref.finalize`` (which covers both
 garbage collection and ``atexit``), guarded by the owning PID so forked
 children can never unlink a parent's live segments. ``close()`` is
-idempotent; using a closed pool raises a loud
+idempotent, escalates ``terminate()`` → ``kill()`` on workers that
+ignore the shutdown sentinel (logging, not swallowing, any process that
+survives even that), and therefore has a bounded worst-case latency.
+Using a closed pool raises a loud
 :class:`~repro.core.exceptions.ConfigurationError`. A worker-side
-exception is caught in the worker, shipped back, and re-raised at the
-coordinator — the pool itself survives and keeps serving.
+*exception* (as opposed to a worker death) is caught in the worker,
+shipped back, and re-raised at the coordinator with every sibling
+shard's failure attached as ``__notes__`` — the pool itself survives
+and keeps serving.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import Pipe, Process
@@ -58,16 +100,28 @@ from repro.core.exceptions import ConfigurationError
 from repro.index import make_backend
 from repro.index.base import components32_from
 from repro.index.topk import topk_prefix
+from repro.testing.faults import FaultPlan, parse_faults
 
 if TYPE_CHECKING:
     from repro.core.miner import HOSMiner
 
 __all__ = ["ShardPool", "QuerySplitPool", "merge_prefixes", "shard_bounds"]
 
+_LOGGER = logging.getLogger(__name__)
+
 #: Worker-side cap on cached per-query component matrices (an ``(n_s, d)``
 #: float64 block per distinct query point; hot traffic repeats points, so
 #: a small FIFO covers the working set without unbounded growth).
 COMPONENT_CACHE_ENTRIES = 64
+
+#: Per-stage grace inside the ``close()`` escalation ladder (sentinel →
+#: ``terminate()`` → ``kill()``); worst case is three stages per worker,
+#: so teardown latency is bounded at a few seconds even when a worker
+#: ignores everything short of SIGKILL.
+CLOSE_GRACE_S = 1.0
+
+#: Ceiling on one exponential-backoff sleep between respawn attempts.
+BACKOFF_CAP_S = 2.0
 
 
 def shard_bounds(n: int, workers: int) -> list[tuple[int, int]]:
@@ -107,7 +161,7 @@ def merge_prefixes(parts: Sequence[np.ndarray], k: int) -> np.ndarray:
 
 
 def _attach_segment(name: str, n: int, d: int):
-    """Map a shard segment as an ``(n, d)`` float64 array (worker side)."""
+    """Map a shard segment as an ``(n, d)`` float64 array."""
     # Workers are forked, so they share the coordinator's resource
     # tracker: this attach re-registers a name the tracker already
     # holds (a set — idempotent), and the coordinator's unlink
@@ -136,6 +190,10 @@ def _local_prefixes(
     scan under the fitted ``kernel``/``precision`` tier, the VA-file via
     its candidate prefilter); any other backend falls back to per-mask
     ``knn``, which is exact by construction.
+
+    Runs identically in a shard worker and, for a degraded shard, in
+    the coordinator's in-process fallback — one code path is what keeps
+    degraded answers element-wise identical to healthy ones.
     """
     q_count = queries.shape[0]
     m = len(dims_list)
@@ -180,18 +238,28 @@ def _local_prefixes(
     return out
 
 
-def _shard_worker(conn, segment_name: str, n: int, d: int, spec: dict) -> None:
+def _shard_worker(
+    conn, segment_name: str, n: int, d: int, shard_id: int, gen: int, spec: dict
+) -> None:
     """Long-lived shard worker: attach, build the local backend, serve.
 
     Any exception inside a work unit is shipped back as an ``("err",
     exc)`` reply instead of killing the process, so the pool survives
-    malformed requests. A ``None`` message is the shutdown sentinel.
+    malformed requests. A ``None`` message is the shutdown sentinel; a
+    ``"ping"`` message is the health probe (answered only once the
+    segment attach and backend build have succeeded, which is what
+    makes the probe meaningful). The configured fault plan is consulted
+    at the attach/recv/send points — inert unless a spec names this
+    shard and incarnation.
     """
+    plan = FaultPlan.from_spec(spec.get("faults"), shard=shard_id, gen=gen)
+    plan.fire("attach")
     segment, rows = _attach_segment(segment_name, n, d)
     backend = make_backend(
         spec["index"], rows, metric=spec["metric"], **spec["index_options"]
     )
     cache: dict = {}
+    rounds = 0
     try:
         while True:
             try:
@@ -200,6 +268,11 @@ def _shard_worker(conn, segment_name: str, n: int, d: int, spec: dict) -> None:
                 break
             if message is None:
                 break
+            if message == "ping":
+                conn.send(("ok", "pong"))
+                continue
+            rounds += 1
+            plan.fire("recv", rounds)
             try:
                 queries, dims_list, k, excludes, kernel, precision = message
                 reply = (
@@ -211,6 +284,7 @@ def _shard_worker(conn, segment_name: str, n: int, d: int, spec: dict) -> None:
                 )
             except Exception as exc:  # ship it back; the pool survives
                 reply = ("err", exc)
+            plan.fire("send", rounds)
             try:
                 conn.send(reply)
             except Exception:
@@ -230,26 +304,53 @@ def _shard_worker(conn, segment_name: str, n: int, d: int, spec: dict) -> None:
             pass
 
 
-def _release_shards(owner_pid, conns, procs, segments) -> None:
+def _reap_process(proc: Process, grace: float = CLOSE_GRACE_S) -> None:
+    """Bounded-latency worker teardown: ``terminate()`` → ``kill()``.
+
+    Never waits more than two *grace* windows; a process that survives
+    SIGKILL (unkillable D-state) is logged loudly instead of being
+    silently abandoned, so operators see the leak.
+    """
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=grace)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=grace)
+    if proc.is_alive():
+        _LOGGER.warning(
+            "shard worker pid=%s ignored terminate() and kill(); abandoning "
+            "the process (its shared-memory segment is unlinked regardless)",
+            proc.pid,
+        )
+
+
+def _release_shards(owner_pid, conns, procs, segments, fallback) -> None:
     """Tear down workers and unlink segments (coordinator side only).
 
     Runs at most once per pool via ``weakref.finalize`` — explicit
     ``close()``, garbage collection and ``atexit`` all funnel here. The
     PID guard keeps forked children (the query-split workers inherit the
     parent's pool handles) from unlinking segments they do not own.
+
+    Worst-case latency is bounded: the graceful sentinel gets one grace
+    window per worker, then :func:`_reap_process` escalates
+    ``terminate()`` → ``kill()`` with one window each and *logs* any
+    worker that still refuses to die.
     """
     if os.getpid() != owner_pid:
         return
+    # Degraded-shard fallback backends hold coordinator-side views into
+    # the segments; drop them first so segment.close() can release.
+    fallback.clear()
     for conn in conns:
         try:
             conn.send(None)
         except Exception:
             pass
     for proc in procs:
-        proc.join(timeout=5.0)
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(timeout=5.0)
+        proc.join(timeout=CLOSE_GRACE_S)
+        _reap_process(proc)
     for conn in conns:
         try:
             conn.close()
@@ -266,6 +367,15 @@ def _release_shards(owner_pid, conns, procs, segments) -> None:
             pass
 
 
+class _ShardFailure(Exception):
+    """Internal: shard *s* failed to deliver a reply (dead or deadline)."""
+
+    def __init__(self, shard: int, cause: BaseException) -> None:
+        super().__init__(f"shard {shard}: {cause!r}")
+        self.shard = shard
+        self.cause = cause
+
+
 class ShardPool:
     """Persistent row-sharded worker pool with shared-memory shards.
 
@@ -279,6 +389,21 @@ class ShardPool:
         :attr:`workers` reports the actual count.
     index, metric, index_options:
         Shard-local backend construction, mirroring the miner's fit.
+    timeout_s:
+        Deadline for one worker reply (and for the post-respawn health
+        ping). ``None`` disables deadlines — a hung worker then blocks
+        its round forever, exactly the pre-supervision behaviour.
+    max_retries:
+        Respawn-and-replay attempts per shard per round before the
+        shard is declared irrecoverable and served in-process.
+    backoff_s:
+        First inter-attempt backoff sleep; doubles per attempt, capped
+        at :data:`BACKOFF_CAP_S`.
+    faults:
+        Deterministic fault-injection spec for the workers
+        (:mod:`repro.testing.faults`); ``None`` reads the
+        ``HOSMINER_FAULTS`` environment variable. Validated here,
+        eagerly, so a typo fails at pool construction.
 
     The pool is kernel-agnostic: every scatter carries its own
     ``kernel``/``precision`` pair, so the engine can run GEMM rounds and
@@ -293,9 +418,21 @@ class ShardPool:
         index: str = "linear",
         metric: object = "euclidean",
         index_options: "dict | None" = None,
+        timeout_s: "float | None" = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        faults: "str | None" = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive (or None to disable), got {timeout_s}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_s < 0:
+            raise ConfigurationError(f"backoff_s must be >= 0, got {backoff_s}")
         X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] == 0 or X.shape[1] == 0:
             raise ConfigurationError(
@@ -304,19 +441,38 @@ class ShardPool:
         self.workers_requested = workers
         self.n, self.d = X.shape
         self._bounds = shard_bounds(self.n, workers)
+        self._timeout_s = timeout_s
+        self._max_retries = max_retries
+        self._backoff_s = backoff_s
         self.round_trips = 0
         self.bytes_shipped = 0
+        #: Dead or hung workers respawned onto their existing segment.
+        self.respawns = 0
+        #: Respawn-and-replay attempts (each one replays the in-flight
+        #: round to a fresh worker).
+        self.retries = 0
+        #: Reply deadlines that expired (hung worker killed + respawned).
+        self.timeouts = 0
+        #: Shard-rounds served in-process after a shard became
+        #: irrecoverable (one event per degraded shard per round).
+        self.degraded_rounds = 0
+        if faults is None:
+            faults = os.environ.get("HOSMINER_FAULTS")
+        parse_faults(faults)  # eager validation: typos fail loudly here
         spec = {
             "index": index,
             "metric": metric,
             "index_options": dict(index_options or {}),
+            "faults": faults,
         }
+        self._spec = spec
 
         segments: list[shared_memory.SharedMemory] = []
         conns = []
         procs: list[Process] = []
+        fallback: dict = {}
         try:
-            for lo, hi in self._bounds:
+            for s, (lo, hi) in enumerate(self._bounds):
                 block = X[lo:hi]
                 segment = shared_memory.SharedMemory(
                     create=True, size=block.nbytes
@@ -327,7 +483,7 @@ class ShardPool:
                 parent_conn, child_conn = Pipe()
                 proc = Process(
                     target=_shard_worker,
-                    args=(child_conn, segment.name, hi - lo, self.d, spec),
+                    args=(child_conn, segment.name, hi - lo, self.d, s, 0, spec),
                     daemon=True,
                 )
                 proc.start()
@@ -336,14 +492,24 @@ class ShardPool:
                 conns.append(parent_conn)
                 procs.append(proc)
         except Exception:
-            _release_shards(os.getpid(), conns, procs, segments)
+            _release_shards(os.getpid(), conns, procs, segments, fallback)
             raise
         self._segments = segments
         self._conns = conns
         self._procs = procs
+        #: Worker incarnation per shard (0 = original spawn).
+        self._gen = [0] * len(self._bounds)
+        #: Shards whose pipe is known unusable (failed ping); the next
+        #: scatter routes them straight through the respawn path.
+        self._dead = [False] * len(self._bounds)
+        #: Irrecoverable shards, permanently served in-process.
+        self._degraded = [False] * len(self._bounds)
+        #: Per-shard coordinator-side fallback backend + component cache
+        #: (built lazily on first degraded round, cleared at teardown).
+        self._fallback = fallback
         self._closed = False
         self._finalizer = weakref.finalize(
-            self, _release_shards, os.getpid(), conns, procs, segments
+            self, _release_shards, os.getpid(), conns, procs, segments, fallback
         )
 
     # ------------------------------------------------------------------
@@ -355,6 +521,11 @@ class ShardPool:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Shards currently served in-process (irrecoverable workers)."""
+        return [s for s, flag in enumerate(self._degraded) if flag]
 
     @property
     def segment_names(self) -> list[str]:
@@ -369,6 +540,213 @@ class ShardPool:
             )
 
     # ------------------------------------------------------------------
+    # Supervision primitives
+    # ------------------------------------------------------------------
+    def _recv_reply(self, s: int):
+        """One shard's reply, bounded by the pool deadline.
+
+        ``poll()`` also wakes on EOF, so a worker that died after the
+        request was sent surfaces here as :class:`_ShardFailure` (cause
+        ``EOFError``) rather than blocking; a worker that is merely hung
+        surfaces as a deadline expiry (cause ``TimeoutError``). Either
+        way the pipe is abandoned afterwards — the caller respawns
+        before reusing the shard, so a late reply can never desync a
+        following round.
+        """
+        conn = self._conns[s]
+        if self._timeout_s is not None and not conn.poll(self._timeout_s):
+            self.timeouts += 1
+            raise _ShardFailure(
+                s, TimeoutError(f"no reply within timeout_s={self._timeout_s}")
+            )
+        try:
+            return conn.recv()
+        except (EOFError, OSError) as exc:
+            raise _ShardFailure(s, exc) from exc
+
+    def _respawn(self, s: int) -> None:
+        """Replace shard *s*'s worker, reattached to its existing segment.
+
+        The dead/hung incumbent is reaped (``terminate()`` → ``kill()``,
+        bounded), a fresh process is forked against the *same*
+        shared-memory segment — the shard's rows never move — and health
+        -pinged before the caller replays any work, so a worker that
+        dies during segment attach is caught here, not mid-round.
+        Raises :class:`_ShardFailure` when the fresh worker fails the
+        ping (the caller's retry loop decides what happens next).
+        """
+        self._reap_worker(s)
+        self._gen[s] += 1
+        lo, hi = self._bounds[s]
+        parent_conn, child_conn = Pipe()
+        proc = Process(
+            target=_shard_worker,
+            args=(
+                child_conn,
+                self._segments[s].name,
+                hi - lo,
+                self.d,
+                s,
+                self._gen[s],
+                self._spec,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        # In-place assignment: the finalizer captured these lists at
+        # construction, so replacing elements (never the lists) keeps
+        # GC/atexit teardown aware of the current incarnation.
+        self._conns[s] = parent_conn
+        self._procs[s] = proc
+        self._dead[s] = False
+        self.respawns += 1
+        # Health ping: the worker only answers once attach + backend
+        # build succeeded, so "pong" certifies a servable shard.
+        try:
+            parent_conn.send("ping")
+            status, payload = self._recv_reply(s)
+        except (BrokenPipeError, OSError) as exc:
+            raise _ShardFailure(s, exc) from exc
+        if (status, payload) != ("ok", "pong"):
+            raise _ShardFailure(
+                s, ConfigurationError(f"bad ping reply: {(status, payload)!r}")
+            )
+
+    def _reap_worker(self, s: int) -> None:
+        """Close shard *s*'s pipe and take its process down, bounded."""
+        try:
+            self._conns[s].close()
+        except Exception:
+            pass
+        _reap_process(self._procs[s])
+
+    def _degrade(self, s: int) -> None:
+        """Mark shard *s* irrecoverable; its slice is served in-process
+        from here on (the segment outlives the workers, so the rows are
+        still one attach away)."""
+        self._degraded[s] = True
+        self._reap_worker(s)
+        _LOGGER.warning(
+            "shard %d irrecoverable after %d respawn attempt(s); serving its "
+            "%d-row slice in-process from now on (answers unchanged, "
+            "throughput degraded)",
+            s,
+            self._max_retries,
+            self._bounds[s][1] - self._bounds[s][0],
+        )
+
+    def _replay_with_retries(self, s: int, request: tuple, request_bytes: int):
+        """Respawn-and-replay shard *s* until it answers or the budget is
+        out; returns ``(status, payload, shipped_bytes)`` or ``None``
+        when the shard was degraded instead."""
+        shipped = 0
+        delay = self._backoff_s
+        for _ in range(self._max_retries):
+            # A close() racing this round must not respawn workers onto
+            # segments that are being unlinked under us.
+            self._require_open()
+            self.retries += 1
+            if delay > 0:
+                time.sleep(min(delay, BACKOFF_CAP_S))
+                delay *= 2
+            try:
+                self._respawn(s)
+                self._conns[s].send(request)
+                shipped += request_bytes
+                status, payload = self._recv_reply(s)
+            except (_ShardFailure, BrokenPipeError, OSError):
+                continue
+            if status == "ok":
+                shipped += payload.nbytes
+            return status, payload, shipped
+        self._degrade(s)
+        return None
+
+    def _fallback_prefixes(self, s: int, request: tuple) -> np.ndarray:
+        """Serve a degraded shard's slice in-process.
+
+        The coordinator maps its own view of the shard's segment and
+        runs :func:`_local_prefixes` — the exact function the worker
+        runs — over a backend built the same way, so the values are
+        element-wise identical to what the healthy worker would have
+        returned. Backend and component cache persist across rounds.
+        """
+        self._require_open()  # the segment view below needs live segments
+        entry = self._fallback.get(s)
+        if entry is None:
+            lo, hi = self._bounds[s]
+            rows = np.ndarray(
+                (hi - lo, self.d), dtype=np.float64, buffer=self._segments[s].buf
+            )
+            backend = make_backend(
+                self._spec["index"],
+                rows,
+                metric=self._spec["metric"],
+                **self._spec["index_options"],
+            )
+            entry = (backend, {})
+            self._fallback[s] = entry
+        backend, cache = entry
+        queries, dims_list, k, excludes, kernel, precision = request
+        return _local_prefixes(
+            backend, queries, dims_list, k, excludes, kernel, precision, cache
+        )
+
+    def ping(self, timeout: "float | None" = None) -> list[bool]:
+        """Health-probe every shard; returns per-shard liveness.
+
+        Degraded shards report ``False`` without a probe (they have no
+        worker). A shard that fails the probe is marked dead and its
+        pipe abandoned — the next scatter routes it through the respawn
+        path — so a late pong can never be mistaken for a work reply.
+        """
+        self._require_open()
+        if timeout is None:
+            timeout = self._timeout_s
+        health: list[bool] = []
+        for s in range(len(self._bounds)):
+            if self._degraded[s] or self._dead[s]:
+                health.append(False)
+                continue
+            alive = False
+            try:
+                self._conns[s].send("ping")
+                if timeout is not None and not self._conns[s].poll(timeout):
+                    raise TimeoutError(f"no pong within {timeout}s")
+                alive = self._conns[s].recv() == ("ok", "pong")
+            except Exception:
+                alive = False
+            if not alive:
+                # Abandon the pipe: a reply arriving after the deadline
+                # must never be read as the next round's payload.
+                self._reap_worker(s)
+                self._dead[s] = True
+            health.append(alive)
+        return health
+
+    @staticmethod
+    def _attach_failure_notes(errors: "list[Exception]") -> Exception:
+        """Aggregate multi-shard failures onto one raisable exception.
+
+        The first error is raised; every sibling shard's failure is
+        attached as a PEP 678 note (``add_note`` on 3.11+, a hand-set
+        ``__notes__`` on 3.10) so a multi-shard failure is diagnosable
+        from the one traceback instead of silently dropping all but the
+        first worker's exception.
+        """
+        primary = errors[0]
+        for extra in errors[1:]:
+            note = f"also raised in a sibling shard: {extra!r}"
+            if hasattr(primary, "add_note"):
+                primary.add_note(note)
+            else:  # python 3.10: attach the PEP 678 attribute by hand
+                notes = list(getattr(primary, "__notes__", []))
+                notes.append(note)
+                primary.__notes__ = notes
+        return primary
+
+    # ------------------------------------------------------------------
     def scatter_prefixes(
         self,
         queries: np.ndarray,
@@ -380,13 +758,19 @@ class ShardPool:
     ) -> np.ndarray:
         """One scatter-gather round: merged ``(q, m, k)`` global prefixes.
 
-        Ships ``(queries, masks)`` to every shard, gathers per-shard
+        Ships ``(queries, masks)`` to every live shard, gathers per-shard
         sorted k-nearest partials and merges them exactly. Shipped bytes
-        (request broadcast + replies) accumulate on
-        :attr:`bytes_shipped`; each call counts one
-        :attr:`round_trips`. Worker exceptions are re-raised here after
-        *all* replies are drained, keeping every pipe in sync — the pool
-        stays usable.
+        (request broadcast + replies, including replays) accumulate on
+        :attr:`bytes_shipped`; each call counts one :attr:`round_trips`.
+
+        Failure handling is per shard: a broken send, a dead pipe or an
+        expired deadline routes that shard through respawn-and-replay
+        (:attr:`retries`/:attr:`timeouts`/:attr:`respawns`), and a shard
+        whose retry budget runs out is served in-process for this and
+        every later round (:attr:`degraded_rounds`). Worker-side
+        *exceptions* (bad requests) are still re-raised here after all
+        replies are drained — with sibling failures attached as notes —
+        and the pool keeps serving.
         """
         self._require_open()
         queries = np.ascontiguousarray(queries, dtype=np.float64)
@@ -394,40 +778,72 @@ class ShardPool:
         excludes = list(excludes)
         request_bytes = queries.nbytes + sum(dims.nbytes for dims in dims_list)
         shipped = 0
-        for s, conn in enumerate(self._conns):
-            lo, hi = self._bounds[s]
+        shards = len(self._bounds)
+
+        requests: list[tuple] = []
+        for lo, hi in self._bounds:
             local = [
                 ex - lo if ex is not None and lo <= ex < hi else None
                 for ex in excludes
             ]
-            try:
-                conn.send((queries, dims_list, k, local, kernel, precision))
-            except (BrokenPipeError, OSError) as exc:
-                self.close()
-                raise ConfigurationError(
-                    f"shard worker {s} is gone ({exc!r}); pool closed"
-                ) from exc
-            shipped += request_bytes
-        parts: list[np.ndarray] = []
+            requests.append((queries, dims_list, k, local, kernel, precision))
+
+        parts: "list[np.ndarray | None]" = [None] * shards
         errors: list[Exception] = []
-        for s, conn in enumerate(self._conns):
+        failed: list[int] = []
+
+        # Bulk scatter to every live shard, then drain every pipe we
+        # actually wrote to — pipes stay request/reply-synchronised.
+        pending: list[int] = []
+        for s in range(shards):
+            if self._degraded[s]:
+                continue
+            if self._dead[s]:
+                failed.append(s)
+                continue
             try:
-                status, payload = conn.recv()
-            except (EOFError, OSError) as exc:
-                self.close()
-                raise ConfigurationError(
-                    f"shard worker {s} died mid-round ({exc!r}); pool closed"
-                ) from exc
+                self._conns[s].send(requests[s])
+                shipped += request_bytes
+                pending.append(s)
+            except (BrokenPipeError, OSError):
+                failed.append(s)
+        for s in pending:
+            try:
+                status, payload = self._recv_reply(s)
+            except _ShardFailure:
+                failed.append(s)
+                continue
             if status == "ok":
-                parts.append(payload)
+                parts[s] = payload
                 shipped += payload.nbytes
             else:
                 errors.append(payload)
+
+        # Slow path: respawn-and-replay each failed shard; a shard that
+        # exhausts its budget is degraded and handled below.
+        for s in failed:
+            outcome = self._replay_with_retries(s, requests[s], request_bytes)
+            if outcome is None:
+                continue
+            status, payload, replay_bytes = outcome
+            shipped += replay_bytes
+            if status == "ok":
+                parts[s] = payload
+            else:
+                errors.append(payload)
+
+        # Graceful degradation: irrecoverable shards are served by the
+        # coordinator itself, through the same kernels.
+        for s in range(shards):
+            if self._degraded[s] and parts[s] is None:
+                parts[s] = self._fallback_prefixes(s, requests[s])
+                self.degraded_rounds += 1
+
         self.round_trips += 1
         self.bytes_shipped += shipped
         if errors:
-            raise errors[0]
-        return merge_prefixes(parts, k)
+            raise self._attach_failure_notes(errors)
+        return merge_prefixes([part for part in parts if part is not None], k)
 
     def scatter_sums(
         self,
@@ -448,7 +864,12 @@ class ShardPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Idempotent teardown: stop workers, close + unlink segments."""
+        """Idempotent teardown: stop workers, close + unlink segments.
+
+        Bounded worst case even against wedged workers — the finalizer
+        escalates sentinel → ``terminate()`` → ``kill()`` with one grace
+        window each and logs anything that survives.
+        """
         self._closed = True
         self._finalizer()
 
@@ -460,9 +881,11 @@ class ShardPool:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
+        degraded = f", degraded={self.degraded_shards}" if any(self._degraded) else ""
         return (
             f"ShardPool({state}, workers={self.workers}, n={self.n}, "
-            f"d={self.d}, round_trips={self.round_trips})"
+            f"d={self.d}, round_trips={self.round_trips}, "
+            f"respawns={self.respawns}{degraded})"
         )
 
 

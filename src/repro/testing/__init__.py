@@ -1,0 +1,26 @@
+"""Deterministic failure tooling for the execution engine.
+
+This package holds the *testing seams* of the runtime — hooks that let
+the chaos test suite, the CI chaos job and the E16 robustness benchmark
+drive the fault-tolerant shard engine through precisely scripted
+failures. Nothing here is imported on the happy path unless a fault
+spec is actually configured.
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FAULT_POINTS,
+    FaultClause,
+    FaultPlan,
+    fault_env,
+    parse_faults,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FaultClause",
+    "FaultPlan",
+    "fault_env",
+    "parse_faults",
+]

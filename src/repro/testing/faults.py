@@ -1,0 +1,276 @@
+"""Deterministic fault injection for the sharded execution engine.
+
+A production coordinator must survive workers that crash, hang or crawl
+— but *testing* that survival needs failures that happen at an exact,
+reproducible point. This module is that scripting layer: a tiny spec
+grammar parsed once at pool construction, and a :class:`FaultPlan` the
+shard workers consult at their three interesting points (shared-memory
+attach, request receipt, reply send). The coordinator never fires
+faults itself; it only validates the spec early so a typo fails loudly
+at fit time rather than silently injecting nothing.
+
+Spec grammar
+------------
+A spec is one or more clauses separated by ``;`` (or ``,``)::
+
+    crash:shard=1:round=3
+    hang:shard=0:round=2
+    slow:ms=500
+    crash:shard=0:at=attach
+    crash:shard=0:gen=any          # every incarnation -> irrecoverable
+
+Each clause starts with a fault kind and is refined by ``key=value``
+fields:
+
+``crash``
+    The worker process dies via ``os._exit`` — no cleanup, no reply, a
+    nonzero exit code; exactly what a segfault or OOM kill looks like
+    from the coordinator's side of the pipe.
+``hang``
+    The worker sleeps far past any reasonable deadline without
+    replying; only the coordinator's ``timeout_s`` deadline (followed
+    by kill + respawn) gets the round moving again.
+``slow``
+    The worker sleeps ``ms`` milliseconds and then serves normally —
+    a straggler, not a failure.
+
+``shard=<int>``
+    Only this shard id fires the clause (default: every shard).
+``round=<int>``
+    Fire on the worker's *N*-th work unit, 1-based, counted per
+    process (default: every round). Invalid for ``at=attach``.
+``at=attach|recv|send``
+    The consult point: during shared-memory attach at worker start,
+    after receiving a work unit (before computing — from the
+    coordinator's view, death *between* its ``send()`` and ``recv()``),
+    or after computing but before replying. Default ``recv``.
+``gen=<int>|any``
+    Which worker incarnation fires: 0 is the originally spawned
+    process, 1 the first respawn, and so on. Default ``0`` — the
+    injected failure hits once and the respawned worker serves clean,
+    which keeps recovery tests deterministic. ``gen=any`` makes the
+    fault permanent (every respawn fails too), driving the
+    graceful-degradation path.
+``ms=<float>``
+    Sleep duration for ``slow`` (default 100).
+
+Activation: the ``HOSMINER_FAULTS`` environment variable (read at pool
+construction, inherited by the workers), or the ``faults=`` argument of
+:class:`~repro.core.shard.ShardPool` which takes precedence over the
+environment. An empty spec means no faults and costs nothing per round.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FaultClause",
+    "FaultPlan",
+    "fault_env",
+    "parse_faults",
+]
+
+FAULT_KINDS = ("crash", "hang", "slow")
+FAULT_POINTS = ("attach", "recv", "send")
+
+#: Exit code of injected crashes — distinctive in worker exitcodes.
+CRASH_EXIT_CODE = 23
+
+#: How long a ``hang`` sleeps. Far past any sane ``timeout_s``; the
+#: coordinator's deadline + kill is what ends it, never this timer.
+HANG_SECONDS = 600.0
+
+#: Default ``slow`` delay when a clause gives no ``ms=``.
+DEFAULT_SLOW_MS = 100.0
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec (see the module grammar)."""
+
+    kind: str
+    shard: int | None = None
+    round: int | None = None
+    at: str = "recv"
+    gen: int | None = 0
+    ms: float = DEFAULT_SLOW_MS
+
+    def matches(self, shard: int, gen: int, point: str, round: int) -> bool:
+        """Does this clause fire for *shard*/*gen* at *point*, *round*?"""
+        if self.at != point:
+            return False
+        if self.shard is not None and self.shard != shard:
+            return False
+        if self.gen is not None and self.gen != gen:
+            return False
+        if self.round is not None and self.round != round:
+            return False
+        return True
+
+    def describe(self) -> str:
+        fields = [self.kind, f"at={self.at}"]
+        if self.shard is not None:
+            fields.append(f"shard={self.shard}")
+        if self.round is not None:
+            fields.append(f"round={self.round}")
+        fields.append("gen=any" if self.gen is None else f"gen={self.gen}")
+        if self.kind == "slow":
+            fields.append(f"ms={self.ms:g}")
+        return ":".join(fields)
+
+
+def _clause_error(clause: str, detail: str) -> ConfigurationError:
+    return ConfigurationError(
+        f"bad fault clause {clause!r}: {detail} — expected "
+        f"'<kind>[:shard=S][:round=R][:at=attach|recv|send][:gen=G|any][:ms=M]' "
+        f"with kind in {FAULT_KINDS}"
+    )
+
+
+def _parse_int(clause: str, key: str, value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise _clause_error(clause, f"{key} must be an integer, got {value!r}") from None
+    if parsed < 0:
+        raise _clause_error(clause, f"{key} must be >= 0, got {parsed}")
+    return parsed
+
+
+def parse_faults(spec: "str | None") -> tuple[FaultClause, ...]:
+    """Parse a fault spec string into clauses; '' / None parse to ()."""
+    if not spec or not spec.strip():
+        return ()
+    clauses: list[FaultClause] = []
+    for raw in spec.replace(",", ";").split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        fields = [field.strip() for field in raw.split(":")]
+        kind = fields[0].lower()
+        if kind not in FAULT_KINDS:
+            raise _clause_error(raw, f"unknown kind {fields[0]!r}")
+        values: dict[str, object] = {"kind": kind}
+        gen_given = False
+        for field in fields[1:]:
+            if "=" not in field:
+                raise _clause_error(raw, f"field {field!r} is not key=value")
+            key, _, value = field.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "shard":
+                values["shard"] = _parse_int(raw, "shard", value)
+            elif key == "round":
+                round_ = _parse_int(raw, "round", value)
+                if round_ < 1:
+                    raise _clause_error(raw, "round is 1-based, got 0")
+                values["round"] = round_
+            elif key == "at":
+                if value.lower() not in FAULT_POINTS:
+                    raise _clause_error(
+                        raw, f"at must be one of {FAULT_POINTS}, got {value!r}"
+                    )
+                values["at"] = value.lower()
+            elif key == "gen":
+                gen_given = True
+                if value.lower() in ("any", "*"):
+                    values["gen"] = None
+                else:
+                    values["gen"] = _parse_int(raw, "gen", value)
+            elif key == "ms":
+                try:
+                    ms = float(value)
+                except ValueError:
+                    raise _clause_error(raw, f"ms must be a number, got {value!r}") from None
+                if ms < 0:
+                    raise _clause_error(raw, f"ms must be >= 0, got {ms}")
+                values["ms"] = ms
+            else:
+                raise _clause_error(raw, f"unknown field {key!r}")
+        if values.get("at") == "attach" and "round" in values:
+            raise _clause_error(raw, "at=attach faults fire before any round; drop round=")
+        if values.get("at") == "attach" and not gen_given:
+            # Attach faults default to the original incarnation only, so
+            # a respawn can actually recover (override with gen=any).
+            values["gen"] = 0
+        clause = FaultClause(**values)  # type: ignore[arg-type]
+        if clause.kind != "slow" and "ms" in values:
+            raise _clause_error(raw, "ms only applies to slow faults")
+        clauses.append(clause)
+    return tuple(clauses)
+
+
+class FaultPlan:
+    """The worker-side driver: one plan per worker process incarnation.
+
+    ``fire(point, round)`` is called by the shard worker at its consult
+    points; a matching ``crash`` clause never returns. Plans are cheap
+    to construct and hold no state beyond the parsed clauses filtered
+    down to this worker's shard — an empty plan's ``fire`` is a single
+    attribute check.
+    """
+
+    def __init__(
+        self, clauses: "tuple[FaultClause, ...]", shard: int, gen: int
+    ) -> None:
+        self.shard = shard
+        self.gen = gen
+        self.clauses = tuple(
+            clause
+            for clause in clauses
+            if clause.shard is None or clause.shard == shard
+        )
+
+    @classmethod
+    def from_spec(cls, spec: "str | None", shard: int, gen: int) -> "FaultPlan":
+        return cls(parse_faults(spec), shard=shard, gen=gen)
+
+    def fire(self, point: str, round: int = 0) -> None:
+        """Apply every clause matching (*point*, *round*); may not return."""
+        if not self.clauses:
+            return
+        for clause in self.clauses:
+            if not clause.matches(self.shard, self.gen, point, round):
+                continue
+            if clause.kind == "crash":
+                # A hard death: no cleanup, no reply, nonzero exitcode —
+                # indistinguishable from a segfault at the coordinator.
+                os._exit(CRASH_EXIT_CODE)
+            elif clause.kind == "hang":
+                time.sleep(HANG_SECONDS)
+            else:  # slow
+                time.sleep(clause.ms / 1000.0)
+
+    def __repr__(self) -> str:
+        described = "; ".join(clause.describe() for clause in self.clauses) or "empty"
+        return f"FaultPlan(shard={self.shard}, gen={self.gen}, {described})"
+
+
+@contextmanager
+def fault_env(spec: "str | None"):
+    """Temporarily set (or clear, with ``None``) ``HOSMINER_FAULTS``.
+
+    Worker pools read the variable once, at construction — wrap the call
+    that spawns the pool (the first multi-worker ``query_batch`` after a
+    ``close()``), not the queries that reuse it.
+    """
+    previous = os.environ.get("HOSMINER_FAULTS")
+    if spec is None:
+        os.environ.pop("HOSMINER_FAULTS", None)
+    else:
+        os.environ["HOSMINER_FAULTS"] = spec
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("HOSMINER_FAULTS", None)
+        else:
+            os.environ["HOSMINER_FAULTS"] = previous
