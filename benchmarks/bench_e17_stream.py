@@ -1,0 +1,98 @@
+"""E17 — incremental streaming engine vs refit-from-scratch.
+
+A sliding-window monitoring deployment sees a gently drifting batch
+stream: each cycle a fresh batch enters the window, the oldest rows
+leave it, the fresh rows are queried against the fixed calibrated
+threshold, and a fixed watchlist of near-manifold points is re-polled.
+The incremental path (:class:`repro.core.stream.StreamEngine`) pays an
+in-place index update, a delta OD-cache invalidation and a live shard
+sync per cycle — after which the watchlist polls replay delta-retained
+cache entries instead of recomputing them; the refit path pays a full
+``HOSMiner.fit`` on the equivalent window — index build, component
+caches, prior-learning sample searches — and all-cold queries, every
+single batch.
+
+This benchmark measures exactly that gap. The gated ``stream_speedup``
+is refit vs incremental wall time over the same stream, and the gated
+``identity`` (1.0) asserts every streamed answer element-wise identical
+(``minimal``, ``total_outlying``, ``od_values``) to a fresh fit on the
+equivalent window with the same explicit threshold — the differential
+contract ``tests/test_stream.py`` pins. The delta-cache
+``cache_retained``/``cache_evicted`` counters are recorded for the
+trajectory.
+
+The measurement lives in :data:`repro.bench.perf.E17_SPEC`; this script
+is its classic entry point. ``python benchmarks/bench_e17_stream.py``
+prints the full table (including a workers=2 cell exercising live
+shard-pool sync); ``--fast`` runs the CI smoke grid; ``--save [PATH]``
+writes the canonical ``BENCH_e17.json`` snapshot (the committed
+baseline the CI regression gate compares against — see
+docs/benchmarking.md). The pytest-benchmark twins time one
+push-and-query cycle against one refit-and-query cycle on a small
+fixed window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.perf import E17_SPEC
+from repro.bench.script import run_script
+from repro.bench.workloads import stream_setup
+from repro.core.miner import HOSMiner
+from repro.core.stream import StreamEngine
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark twins (small fixed window, regression tracking)
+# ----------------------------------------------------------------------
+def test_benchmark_stream_push_query(benchmark):
+    """Time one incremental cycle: push an 8-row batch through a 400-row
+    sliding window, query the fresh rows, re-poll the watchlist.
+
+    The same batch cycles in and out of the window every round, so each
+    measured round does the full incremental work — insert, expiry,
+    delta cache invalidation — at constant occupancy, with the
+    watchlist polls replaying retained cache entries.
+    """
+    miner, batches, watchlist = stream_setup()
+    engine = StreamEngine(miner)
+    rows = batches[0]
+
+    def run():
+        engine.push(rows)
+        fresh = list(range(engine.occupancy - rows.shape[0], engine.occupancy))
+        return engine.query_batch(fresh), engine.query_batch(watchlist)
+
+    fresh_result, polled = benchmark(run)
+    engine.close()
+    assert len(fresh_result) == rows.shape[0]
+    assert len(polled) == len(watchlist)
+    assert engine.occupancy == engine.window
+
+
+def test_benchmark_stream_refit(benchmark):
+    """Time the refit alternative for the same cycle: a fresh fit on the
+    equivalent window, then the same (all-cold) queries."""
+    miner, batches, watchlist = stream_setup()
+    threshold = float(miner.threshold_)
+    frame = np.vstack([miner.backend_.data, batches[0]])[-miner.config.stream_window :]
+    fresh = list(range(frame.shape[0] - batches[0].shape[0], frame.shape[0]))
+
+    def run():
+        oracle = HOSMiner(k=5, sample_size=10, threshold=threshold)
+        oracle.fit(frame)
+        return oracle.query_batch(fresh), oracle.query_batch(watchlist)
+
+    fresh_result, polled = benchmark(run)
+    assert len(fresh_result) == batches[0].shape[0]
+    assert len(polled) == len(watchlist)
+
+
+# ----------------------------------------------------------------------
+def main() -> None:
+    run_script(E17_SPEC, default_tier="full")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from repro.core import (
     SearchOutcome,
     SearchStats,
     SharedODCache,
+    StreamEngine,
     Subspace,
     calibrate_threshold,
     learn_priors,
@@ -57,6 +58,7 @@ __all__ = [
     "SearchOutcome",
     "SearchStats",
     "SharedODCache",
+    "StreamEngine",
     "Subspace",
     "XTree",
     "__version__",

@@ -12,7 +12,7 @@ Layered bottom-up (see ``docs/benchmarking.md``):
   :mod:`repro.bench.reporting` / :mod:`repro.bench.harness` — shared
   inputs, quality measures, and table rendering.
 - :mod:`repro.bench.experiments` (paper tables f1, e0–e11) and
-  :mod:`repro.bench.perf` (perf trajectory e12–e16) — the specs.
+  :mod:`repro.bench.perf` (perf trajectory e12–e17) — the specs.
 
 :data:`ALL_SPECS` is the merged registry driven by ``repro bench``;
 :data:`ALL_EXPERIMENTS` keeps the classic ``eN(fast=True)`` entry
@@ -28,6 +28,7 @@ from repro.bench.perf import (
     E14_SPEC,
     E15_SPEC,
     E16_SPEC,
+    E17_SPEC,
     PERF_SPECS,
 )
 from repro.bench.reporting import Table, format_value, save_json
@@ -68,6 +69,7 @@ __all__ = [
     "E14_SPEC",
     "E15_SPEC",
     "E16_SPEC",
+    "E17_SPEC",
     "Experiment",
     "ExperimentSpec",
     "PERF_SPECS",

@@ -1,11 +1,12 @@
 """End-to-end performance specs: E12 (batch engine), E13 (OD kernel),
-E14 (memory ceiling), E15 (sharded scatter-gather engine) and E16
-(fault recovery under injected worker failures).
+E14 (memory ceiling), E15 (sharded scatter-gather engine), E16
+(fault recovery under injected worker failures) and E17 (incremental
+streaming engine vs refit-from-scratch).
 
 Unlike the paper-table experiments in :mod:`repro.bench.experiments`,
 these specs track the repo's own performance trajectory: their
 smoke-tier snapshots are committed at the repo root as
-``BENCH_e12.json`` … ``BENCH_e16.json`` and CI re-runs them on every
+``BENCH_e12.json`` … ``BENCH_e17.json`` and CI re-runs them on every
 push, failing when a gated measure regresses by more than 15%
 (:func:`repro.bench.snapshot.compare_snapshots`).
 
@@ -16,9 +17,11 @@ float32 vs float64 GEMM), E14's ``peak_blocked_mb`` (the blocked
 kernel's intermediate footprint, exact bytes), E15's
 ``persist_speedup`` (persistent warm shard pool vs per-call spin-up)
 plus its deterministic wire counters ``round_trips``/``bytes_shipped``,
-and E16's ``identity``/``respawns``/``timeouts``/``degraded_rounds``
+E16's ``identity``/``respawns``/``timeouts``/``degraded_rounds``
 (answer identity and supervision counters under deterministic fault
-injection)
+injection), and E17's ``stream_speedup``/``identity`` (sustained
+incremental insert+query vs fresh-fit-per-batch wall time, with every
+streamed answer asserted identical to the fresh-fit oracle)
 — because a committed baseline travels across heterogeneous runners
 where absolute queries/sec mean nothing. The absolute throughput and
 latency columns are recorded in every snapshot for the trajectory, but
@@ -35,11 +38,15 @@ from repro.bench.spec import ExperimentSpec
 from repro.bench.workloads import (
     E13_SEED,
     E14_SEED,
+    E17_SEED,
     make_level_masks,
     make_traffic,
     planted_workload,
     standard_miner,
 )
+from repro.core.miner import HOSMiner
+from repro.core.stream import StreamEngine
+from repro.data.synthetic import make_drift_stream
 from repro.index.base import components32_from
 from repro.index.linear import LinearScanIndex
 from repro.testing.faults import fault_env
@@ -50,12 +57,14 @@ __all__ = [
     "E14_SPEC",
     "E15_SPEC",
     "E16_SPEC",
+    "E17_SPEC",
     "PERF_SPECS",
     "run_batch_cell",
     "run_fault_cell",
     "run_kernel_cell",
     "run_memory_cell",
     "run_shard_cell",
+    "run_stream_cell",
 ]
 
 
@@ -712,7 +721,229 @@ E16_SPEC = ExperimentSpec(
 )
 
 
+# ----------------------------------------------------------------------
+# E17 — incremental streaming engine versus refit-from-scratch
+# ----------------------------------------------------------------------
+def run_stream_cell(
+    window: int,
+    d: int,
+    batch_size: int,
+    probes: int,
+    cycles: int,
+    index: str = "linear",
+    workers: int = 1,
+    k: int = 5,
+    reps: int = 3,
+) -> dict:
+    """Sustained insert+query throughput, incremental vs refit, one cell.
+
+    The workload is a *monitoring deployment*: one gently drifting
+    stream supplies both the warm window and the batches pushed after
+    it (same wandering mixture, so fresh rows are mostly inliers), and
+    a fixed watchlist of near-manifold points is re-polled every cycle.
+    A warm window is fitted once to calibrate the outlier threshold
+    ``T`` (the deployment's contract is a *fixed* T — see
+    :mod:`repro.core.stream`); both arms then answer the same stream
+    with that explicit threshold, each best-of-``reps``:
+
+    - ``stream``: one warm fit outside the timer (paid once per
+      deployment, not per batch), then per cycle a
+      :meth:`~repro.core.stream.StreamEngine.push` (in-place index
+      update, delta OD-cache invalidation, live shard sync) plus a
+      query of the fresh rows and a watchlist re-poll. The watchlist's
+      cache keys are stable across pushes, so its re-polls replay
+      delta-retained entries instead of recomputing them.
+    - ``refit``: per cycle a fresh ``HOSMiner(threshold=T)`` fitted from
+      scratch on the equivalent window (index build, component caches,
+      prior-learning sample searches — everything a non-incremental
+      deployment pays per batch), then the same queries, all cold.
+
+    Every cycle's streamed answers — fresh rows and watchlist alike —
+    are asserted element-wise identical (``minimal``,
+    ``total_outlying``, ``od_values``) to the fresh-fit oracle's and
+    recorded as the gated ``identity`` measure (1.0; a float because
+    the snapshot comparator skips booleans). ``stream_speedup``
+    (refit / stream wall time) is the headline gate; the delta-cache
+    ``cache_retained`` / ``cache_evicted`` counters are deterministic
+    under the fixed seed and recorded for the trajectory.
+    """
+    if window % batch_size:
+        raise ValueError(
+            f"window ({window}) must be a multiple of batch_size ({batch_size})"
+        )
+    prefix = window // batch_size
+    stream = make_drift_stream(
+        prefix + cycles, batch_size, d, drift_per_batch=0.05, seed=E17_SEED
+    )
+    warm = np.vstack(stream[:prefix])
+    batches = stream[prefix:]
+
+    calibration = HOSMiner(
+        k=k, sample_size=10, threshold_quantile=0.95, index=index
+    )
+    calibration.fit(warm)
+    threshold = float(calibration.threshold_)
+    calibration.close()
+
+    rng = np.random.default_rng(E17_SEED + 1)
+    watchlist = [
+        warm[i] + rng.normal(scale=0.05, size=d)
+        for i in rng.choice(window, probes, replace=False)
+    ]
+
+    def query(serving, targets):
+        if workers > 1:
+            return serving.query_batch(targets, workers=workers, shard="rows")
+        return serving.query_batch(targets)
+
+    stream_times: list[float] = []
+    refit_times: list[float] = []
+    for _ in range(reps):
+        # Incremental arm: push, query the fresh rows, re-poll the
+        # watchlist.
+        miner = HOSMiner(
+            k=k, sample_size=10, threshold=threshold,
+            stream_window=window, index=index,
+        )
+        miner.fit(warm)
+        stream_results = []
+        with StreamEngine(miner) as engine:
+            start = time.perf_counter()
+            for rows in batches:
+                engine.push(rows)
+                fresh = list(
+                    range(engine.occupancy - rows.shape[0], engine.occupancy)
+                )
+                stream_results.append(
+                    (query(engine, fresh), query(engine, watchlist))
+                )
+            stream_times.append(time.perf_counter() - start)
+        retained = miner.od_cache_.delta_retained
+        evicted = miner.od_cache_.delta_evicted
+        counters = miner.backend_.stats.snapshot()
+        miner.close()
+
+        # Refit arm: a fresh fit on the equivalent window every cycle.
+        frame = warm
+        refit_results = []
+        start = time.perf_counter()
+        for rows in batches:
+            frame = np.vstack([frame, rows])[-window:]
+            fresh = list(range(frame.shape[0] - rows.shape[0], frame.shape[0]))
+            oracle = HOSMiner(
+                k=k, sample_size=10, threshold=threshold, index=index
+            )
+            oracle.fit(frame)
+            refit_results.append(
+                (query(oracle, fresh), query(oracle, watchlist))
+            )
+            oracle.close()
+        refit_times.append(time.perf_counter() - start)
+
+        for cycle, (streamed, refitted) in enumerate(
+            zip(stream_results, refit_results)
+        ):
+            for streamed_arm, refitted_arm in zip(streamed, refitted):
+                assert all(
+                    a.minimal == b.minimal
+                    and a.total_outlying == b.total_outlying
+                    and a.od_values == b.od_values
+                    for a, b in zip(streamed_arm.results, refitted_arm.results)
+                ), (
+                    "streamed answers diverged from the fresh-fit oracle "
+                    f"at cycle {cycle}"
+                )
+
+    stream_s, refit_s = min(stream_times), min(refit_times)
+    m = cycles * (batch_size + probes)
+    return {
+        "window": window,
+        "d": d,
+        "batch": batch_size,
+        "probes": probes,
+        "cycles": cycles,
+        "index": index,
+        "workers": workers,
+        "stream_qps": m / stream_s,
+        "refit_qps": m / refit_s,
+        "stream_speedup": refit_s / stream_s,
+        "cache_retained": retained,
+        "cache_evicted": evicted,
+        # Asserted above for every cycle of every rep; recorded as a
+        # float so the snapshot comparator gates it (it skips booleans).
+        "identity": 1.0,
+        "_counters": counters,
+    }
+
+
+def _e17_run(ctx, cell: tuple, k: int, reps: int) -> dict:
+    window, d, batch_size, probes, cycles, index, workers = cell
+    return run_stream_cell(
+        int(window), int(d), int(batch_size), int(probes), int(cycles),
+        index=str(index), workers=int(workers), k=int(k), reps=int(reps),
+    )
+
+
+E17_SPEC = ExperimentSpec(
+    name="e17",
+    title="Incremental streaming engine vs refit-from-scratch (sliding window)",
+    # cell = (window, d, batch_size, probes, cycles, index, workers).
+    # The smoke cell streams through the paper's VA-file — the index the
+    # engine updates in place; the full tier adds the linear-scan buffer
+    # and a workers=2 cell exercising live shard sync.
+    grid={"cell": (
+        (6400, 8, 4, 48, 8, "vafile", 1),
+        (6400, 8, 4, 48, 8, "linear", 1),
+        (6400, 8, 4, 48, 8, "linear", 2),
+    )},
+    smoke={"cell": ((6400, 8, 4, 48, 8, "vafile", 1),)},
+    fixed={"k": 5, "reps": 3},
+    run=_e17_run,
+    columns=[
+        "window",
+        "d",
+        "batch",
+        "probes",
+        "cycles",
+        "index",
+        "workers",
+        "stream_qps",
+        "refit_qps",
+        "stream_speedup",
+        "cache_retained",
+        "cache_evicted",
+        "identity",
+    ],
+    expectation=(
+        "pushing a batch through the sliding window (in-place index "
+        "update + delta OD-cache invalidation + live shard sync), "
+        "querying the fresh rows and re-polling the watchlist beats "
+        "fitting a new miner on the equivalent window every batch by "
+        ">=3x, with every answer element-wise identical to the "
+        "fresh-fit oracle"
+    ),
+    notes=[
+        "identity is asserted per cycle against a fresh fit on the "
+        "equivalent window with the same explicit threshold and gated "
+        "at 1.0",
+        "both arms keep the calibrated threshold fixed: a quantile "
+        "re-drawn per window would answer a different question (see "
+        "docs/streaming.md); cache_retained/cache_evicted are "
+        "deterministic under the fixed seed and recorded for the "
+        "trajectory but not gated",
+        "the speedup comes from the arm-specific costs: refit pays the "
+        "per-cycle fit (index build + prior-learning searches) and "
+        "cold watchlist polls, stream pays one push plus mostly "
+        "cache-replayed polls; the fresh-row queries are cold in both "
+        "arms and only dilute the ratio",
+    ],
+    repeats=3,
+    regression={"stream_speedup": "higher", "identity": "higher"},
+)
+
+
 #: The perf-trajectory specs (committed snapshots + CI gate).
 PERF_SPECS = {
-    spec.name: spec for spec in (E12_SPEC, E13_SPEC, E14_SPEC, E15_SPEC, E16_SPEC)
+    spec.name: spec
+    for spec in (E12_SPEC, E13_SPEC, E14_SPEC, E15_SPEC, E16_SPEC, E17_SPEC)
 }

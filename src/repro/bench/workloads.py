@@ -23,6 +23,7 @@ __all__ = [
     "E13_SEED",
     "E14_SEED",
     "E15_SEED",
+    "E17_SEED",
     "Workload",
     "planted_workload",
     "standard_miner",
@@ -32,6 +33,7 @@ __all__ = [
     "make_level_masks",
     "small_batch_setup",
     "kernel_cell_setup",
+    "stream_setup",
 ]
 
 #: Seed base for every experiment workload; per-config offsets keep
@@ -46,6 +48,9 @@ E14_SEED = SEED + 14
 
 #: Seed for the E15 sharded scatter-gather benchmark.
 E15_SEED = SEED + 15
+
+#: Seed for the E17 streaming-engine benchmark.
+E17_SEED = SEED + 17
 
 
 @dataclass(slots=True)
@@ -194,6 +199,62 @@ def make_level_masks(rng: np.random.Generator, d: int, width: int) -> list[np.nd
         size = int(rng.integers(1, d + 1))
         masks.append(np.sort(rng.choice(d, size=size, replace=False)).astype(np.intp))
     return masks
+
+
+# ----------------------------------------------------------------------
+# E17 — streaming window inputs
+# ----------------------------------------------------------------------
+def stream_setup(
+    window: int = 400,
+    d: int = 8,
+    batch_size: int = 8,
+    n_batches: int = 6,
+    probes: int = 16,
+    drift: float = 0.05,
+    **overrides,
+):
+    """The E17 monitoring workload: warm miner, drift batches, watchlist.
+
+    One gently drifting stream supplies *both* the warm window (its
+    first ``window / batch_size`` batches, vstacked) and the batches
+    pushed afterwards, so fresh rows are drawn from the same wandering
+    mixture the window tracks — mostly inliers, the regime where the
+    delta cache retains. The watchlist is a fixed set of near-manifold
+    monitoring points (warm rows plus small noise) re-polled every
+    cycle; its cache keys are stable across pushes, which is exactly
+    what the incremental arm gets paid for.
+
+    Returns ``(miner, batches, watchlist)``: a miner fitted on the warm
+    window with ``stream_window`` armed and config-default priors, the
+    oldest-first stream batches, and the watchlist points. Keyword
+    *overrides* reach the miner config (the full-tier cells arm
+    ``index`` and ``workers``).
+    """
+    from repro.data.synthetic import make_drift_stream
+
+    if window % batch_size:
+        raise ValueError(
+            f"window ({window}) must be a multiple of batch_size ({batch_size})"
+        )
+    prefix = window // batch_size
+    stream = make_drift_stream(
+        prefix + n_batches, batch_size, d, drift_per_batch=drift, seed=E17_SEED
+    )
+    warm = np.vstack(stream[:prefix])
+    miner = HOSMiner(
+        k=5,
+        sample_size=10,
+        threshold_quantile=0.95,
+        stream_window=window,
+        **overrides,
+    )
+    miner.fit(warm)
+    rng = np.random.default_rng(E17_SEED + 1)
+    watchlist = [
+        warm[i] + rng.normal(scale=0.05, size=d)
+        for i in rng.choice(window, probes, replace=False)
+    ]
+    return miner, stream[prefix:], watchlist
 
 
 def kernel_cell_setup(n: int = 2000, d: int = 12, width: int = 64):

@@ -17,6 +17,13 @@ Subcommands
     of a second query CSV, or both; ``--workers``/``--shard`` fan the
     batch out to worker processes (persistent shared-memory row shards
     by default, whole-query splitting with ``--shard queries``).
+``stream``
+    Replay a synthetic drift or burst workload through the sliding-
+    window streaming engine: fit once on a warm-up window, then push
+    batches through the incremental ``insert``/``expire`` path and query
+    every fresh row as it arrives, printing per-batch outliers, window
+    occupancy and delta-cache retention. ``--workers`` streams through
+    the live shard pool.
 ``experiment``
     Run one (or all) of the paper-table experiments (f1, e0–e11) and
     print its table; ``--full`` uses the complete parameter grids,
@@ -38,6 +45,8 @@ Examples::
     hos-miner detect data.csv --normalize --top 10
     hos-miner batch data.csv --queries new_points.csv --workers 4
     hos-miner batch data.csv --all-rows --explain
+    hos-miner stream --workload drift --batches 20 --window 256
+    hos-miner stream --workload burst --workers 2 --index vafile
     hos-miner experiment e1 --full --save
     repro bench --list
     repro bench e13                      # smoke tier, writes BENCH_e13.json
@@ -222,6 +231,84 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--explain", action="store_true",
         help="print the per-point explanation for every outlier in the batch",
+    )
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="replay a synthetic stream through the sliding-window engine",
+    )
+    stream.add_argument(
+        "--workload", choices=["drift", "burst"], default="drift",
+        help="stream shape: drift (cluster centres wander between batches) "
+        "or burst (stationary background with periodic anomaly bursts)",
+    )
+    stream.add_argument(
+        "--batches", type=int, default=20, help="number of pushed batches (default 20)"
+    )
+    stream.add_argument(
+        "--batch-size", type=int, default=32, help="rows per pushed batch (default 32)"
+    )
+    stream.add_argument(
+        "--window", type=int, default=256,
+        help="sliding-window size; the warm-up fit has this many rows (default 256)",
+    )
+    stream.add_argument("--d", type=int, default=8, help="dimensionality (default 8)")
+    stream.add_argument("--k", type=int, default=5, help="neighbour count (default 5)")
+    stream.add_argument(
+        "--threshold", type=float, default=None,
+        help="distance threshold T, fixed for the whole stream (default: "
+        "calibrated once on the warm-up window from --quantile)",
+    )
+    stream.add_argument(
+        "--quantile", type=float, default=0.995,
+        help="full-space OD quantile for auto T (default 0.995)",
+    )
+    stream.add_argument(
+        "--index", choices=["linear", "vafile"], default="linear",
+        help="kNN backend; only the windowed backends stream (default linear)",
+    )
+    stream.add_argument(
+        "--kernel", choices=["auto", "gemm", "exact"], default="auto",
+        help="OD kernel (answers are identical at any setting)",
+    )
+    stream.add_argument(
+        "--precision", choices=["auto", "float64", "float32"], default="auto",
+        help="GEMM precision tier (answer sets are identical at any setting)",
+    )
+    stream.add_argument(
+        "--cache-invalidation", choices=["delta", "all"], default="delta",
+        help="OD-cache treatment per window update: delta (default) keeps "
+        "entries whose kth-distance bound proves them unaffected, all drops "
+        "everything; answers are identical either way",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes; above 1 the window updates propagate into "
+        "the live shard pool (default: HOSMINER_WORKERS, else 1)",
+    )
+    stream.add_argument(
+        "--sample-size", type=int, default=10,
+        help="learning sample size S (default 10)",
+    )
+    stream.add_argument(
+        "--drift", type=float, default=0.2,
+        help="drift workload: centre movement per batch in cluster sigmas "
+        "(default 0.2)",
+    )
+    stream.add_argument(
+        "--outlier-every", type=int, default=4,
+        help="drift workload: plant one outlier every N batches (default 4; "
+        "0 disables)",
+    )
+    stream.add_argument(
+        "--burst-every", type=int, default=4,
+        help="burst workload: burst period in batches (default 4)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    stream.add_argument(
+        "--quiet", action="store_true", help="suppress the per-batch lines"
     )
 
     experiment = subparsers.add_parser(
@@ -426,6 +513,77 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stream(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.stream import StreamEngine
+    from repro.data.synthetic import (
+        make_burst_stream,
+        make_drift_stream,
+        make_gaussian_mixture,
+    )
+
+    warm = make_gaussian_mixture(args.window, args.d, seed=args.seed).X
+    if args.workload == "drift":
+        batches = make_drift_stream(
+            args.batches,
+            args.batch_size,
+            args.d,
+            drift_per_batch=args.drift,
+            outlier_every=args.outlier_every,
+            seed=None if args.seed is None else args.seed + 1,
+        )
+    else:
+        batches = make_burst_stream(
+            args.batches,
+            args.batch_size,
+            args.d,
+            burst_every=args.burst_every,
+            seed=None if args.seed is None else args.seed + 1,
+        )
+    miner = HOSMiner(
+        k=args.k,
+        threshold=args.threshold,
+        threshold_quantile=args.quantile,
+        index=args.index,
+        sample_size=args.sample_size,
+        kernel=args.kernel,
+        precision=args.precision,
+        cache_invalidation=args.cache_invalidation,
+        stream_window=args.window,
+        **({} if args.workers is None else {"workers": args.workers}),
+    ).fit(warm)
+    print(
+        f"fitted warm-up window of {args.window} rows x {args.d}; "
+        f"T = {miner.threshold_:.4g} (fixed for the stream); "
+        f"kernel = {miner.kernel_}"
+    )
+    outliers = 0
+    start = time.perf_counter()
+    with StreamEngine(miner) as engine:
+        for b, rows in enumerate(batches):
+            expired = engine.push(rows)
+            fresh = list(range(engine.occupancy - rows.shape[0], engine.occupancy))
+            result = engine.query_batch(fresh)
+            found = sum(1 for point in result if point.is_outlier)
+            outliers += found
+            if not args.quiet:
+                cache = miner.od_cache_
+                print(
+                    f"batch {b:>3}: +{rows.shape[0]}/-{expired} rows, "
+                    f"occupancy {engine.occupancy}, outliers {found}, "
+                    f"cache retained {cache.delta_retained} "
+                    f"evicted {cache.delta_evicted}"
+                )
+        wall = time.perf_counter() - start
+        print(
+            f"\n{engine.pushes} pushes: {engine.inserted} rows in, "
+            f"{engine.expired} expired, {outliers} outlier(s) flagged, "
+            f"{engine.inserted / wall:.0f} rows/s sustained (push + query)"
+        )
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     ids = sorted(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
     for experiment_id in ids:
@@ -500,6 +658,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _run_detect(args)
         if args.command == "batch":
             return _run_batch(args)
+        if args.command == "stream":
+            return _run_stream(args)
         if args.command == "experiment":
             return _run_experiment(args)
         if args.command == "bench":

@@ -47,6 +47,7 @@ from repro.core.savings import (
     upward_saving_factor,
 )
 from repro.core.search import DynamicSubspaceSearch, SearchOutcome, SearchStats
+from repro.core.stream import StreamEngine
 from repro.core.subspace import Subspace
 
 __all__ = [
@@ -76,6 +77,7 @@ __all__ = [
     "SearchOutcome",
     "SearchStats",
     "SharedODCache",
+    "StreamEngine",
     "Subspace",
     "TSFInputs",
     "calibrate_threshold",

@@ -75,7 +75,7 @@ import numpy as np
 
 from repro.core.config import _SHARD_MODES
 from repro.core.exceptions import ConfigurationError
-from repro.core.od import ODEvaluator, SharedODCache, near_threshold
+from repro.core.od import ODEvaluator, SharedODCache, kth_bound, near_threshold
 from repro.core.precision import reverify_rtol
 from repro.core.result import BatchResult, OutlyingSubspaceResult
 from repro.core.search import SearchOutcome, SearchStats
@@ -288,6 +288,9 @@ class BatchQueryEngine:
         # One band for every search of the batch: same backend, same
         # resolved tier => same rigorous re-verification width.
         band_rtol = reverify_rtol(precision, backend.d)
+        # Bound-inflation band for cached kth distances (delta cache
+        # invalidation): GEMM kths carry kernel noise, exact ones none.
+        prime_band = band_rtol if kernel == "gemm" else 0.0
 
         states: list[_SearchState] = []
         for query, exclude in zip(queries, excludes):
@@ -358,29 +361,42 @@ class BatchQueryEngine:
                 return {"precision": "float32"}
             return {"precision": "float32", "components32": state.components32}
 
-        def reverified(state: _SearchState, i: int, mask: int, value: float) -> float:
+        def reverified(
+            state: _SearchState,
+            i: int,
+            mask: int,
+            value: float,
+            kth: "float | None" = None,
+        ) -> "tuple[float, float | None]":
             """Replace a near-threshold GEMM value with the exact one.
 
             The single point where the engine enforces the kernel knob's
             answers-identical contract — every GEMM-computed value flows
             through here before a pruning decision can be made on it.
+            Returns ``(value, safe kth bound)``: the exact kth after a
+            re-verification, the band-inflated *kth* otherwise (``None``
+            when the caller's kernel did not surface one — the stacked
+            multi-query GEMM has no prefix variant).
             """
             if kernel == "gemm" and near_threshold(value, threshold, band_rtol):
-                value = float(
-                    backend.knn_distance_sums(
-                        state.evaluator.query,
-                        k,
-                        [dims_for(mask)],
-                        exclude=excludes[i],
-                        components=state.components,
-                        kernel="exact",
-                    )[0]
-                )
+                row = backend.knn_distance_prefix(
+                    state.evaluator.query,
+                    k,
+                    [dims_for(mask)],
+                    exclude=excludes[i],
+                    components=state.components,
+                    kernel="exact",
+                )[0]
+                value = float(row.sum())
+                kth = float(row[-1])  # exact: already a safe bound
                 state.evaluator.reverifications += 1
                 stats = getattr(backend, "stats", None)
                 if stats is not None:
                     stats.bump("reverified_masks")
-            return value
+                return value, kth
+            if kth is not None:
+                kth = kth_bound(kth, prime_band)
+            return value, kth
 
         def serve_pool(members: "list[int]", masks: "list[int]") -> None:
             """Answer a mask-major group by scattering it over the
@@ -398,7 +414,7 @@ class BatchQueryEngine:
             mode-independent.
             """
             dims = [dims_for(mask) for mask in masks]
-            grid = pool.scatter_sums(
+            prefixes = pool.scatter_prefixes(
                 queries[members],
                 dims,
                 k,
@@ -406,6 +422,12 @@ class BatchQueryEngine:
                 kernel,
                 precision,
             )
+            # Ascending sums of the merged global k-prefixes — the same
+            # accumulation order as the sequential kernels (hence the
+            # same float64 values); the last prefix column is the kth
+            # distance the delta cache invalidation needs as a bound.
+            grid = prefixes.sum(axis=-1)
+            kmax = prefixes[..., -1]
             q_count, m_count = len(members), len(masks)
             stats = getattr(backend, "stats", None)
             if stats is not None:
@@ -427,7 +449,7 @@ class BatchQueryEngine:
                     ]
                     if not near:
                         continue
-                    grid[row, near] = pool.scatter_sums(
+                    exact = pool.scatter_prefixes(
                         queries[[i]],
                         [dims[col] for col in near],
                         k,
@@ -435,6 +457,8 @@ class BatchQueryEngine:
                         "exact",
                         "float64",
                     )[0]
+                    grid[row, near] = exact.sum(axis=-1)
+                    kmax[row, near] = exact[:, -1]
                     states[i].evaluator.reverifications += len(near)
                     if stats is not None:
                         stats.knn_queries += len(near)
@@ -443,13 +467,19 @@ class BatchQueryEngine:
                 state = states[i]
                 for col, mask in enumerate(masks):
                     value = float(grid[row, col])
-                    state.evaluator.prime(mask, value)
+                    state.evaluator.prime(
+                        mask, value, kth=kth_bound(float(kmax[row, col]), prime_band)
+                    )
                     state.values[mask] = value
 
         def serve_with_sums(state: _SearchState, i: int, masks: "list[int]") -> None:
-            """Answer one state's masks via its knn_distance_sums kernel
+            """Answer one state's masks via its level prefix kernel
             (GEMM when the miner resolved it), with exact re-verification
-            of near-threshold GEMM values."""
+            of near-threshold GEMM values. The prefix kernel rather than
+            the sums kernel: the sums ARE ``prefix.sum(axis=1)``
+            (documented on both backends), and the last prefix column is
+            the kth-neighbour distance the delta cache invalidation
+            needs as a bound — captured here for free."""
             if pool is not None:
                 serve_pool([i], masks)
                 return
@@ -458,7 +488,7 @@ class BatchQueryEngine:
             # regardless of the batch width.
             if len(masks) > 1 or kernel == "gemm":
                 allocate_components(state)
-            values = backend.knn_distance_sums(
+            prefixes = backend.knn_distance_prefix(
                 state.evaluator.query,
                 k,
                 [dims_for(mask) for mask in masks],
@@ -467,9 +497,13 @@ class BatchQueryEngine:
                 kernel=kernel,
                 **precision_kwargs(state),
             )
-            for mask, value in zip(masks, values):
-                value = reverified(state, i, mask, float(value))
-                state.evaluator.prime(mask, value)
+            sums = prefixes.sum(axis=1)
+            kths = prefixes[:, -1]
+            for col, mask in enumerate(masks):
+                value, kth = reverified(
+                    state, i, mask, float(sums[col]), float(kths[col])
+                )
+                state.evaluator.prime(mask, value, kth=kth)
                 state.values[mask] = value
 
         def replay_duplicates(
@@ -548,7 +582,15 @@ class BatchQueryEngine:
                         batch_kwargs["components32_list"] = [
                             states[i].components32 for i in members
                         ]
-                    grid = backend.knn_distance_sums_batch(
+                    # The prefix-grade batch kernel when the backend has
+                    # one: the sums are prefix.sum(axis=2) and the last
+                    # prefix column is each pair's kth distance — the
+                    # delta-cache bound, harvested for free.
+                    prefix_batch = getattr(
+                        backend, "knn_distance_prefix_batch", None
+                    )
+                    batch_fn = prefix_batch or backend.knn_distance_sums_batch
+                    grid = batch_fn(
                         queries[members],
                         k,
                         [dims_for(mask) for mask in masks],
@@ -557,11 +599,21 @@ class BatchQueryEngine:
                         kernel="gemm",
                         **batch_kwargs,
                     )
+                    kmax = None
+                    if prefix_batch is not None:
+                        kmax = grid[..., -1]
+                        grid = grid.sum(axis=2)
                     for row, i in enumerate(members):
                         state = states[i]
                         for col, mask in enumerate(masks):
-                            value = reverified(state, i, mask, float(grid[row, col]))
-                            state.evaluator.prime(mask, value)
+                            value, kth = reverified(
+                                state,
+                                i,
+                                mask,
+                                float(grid[row, col]),
+                                None if kmax is None else float(kmax[row, col]),
+                            )
+                            state.evaluator.prime(mask, value, kth=kth)
                             state.values[mask] = value
                 replay_duplicates(duplicates, needs_by_state)
             elif by_state:
@@ -601,7 +653,10 @@ class BatchQueryEngine:
                     )
                     for i, (_, distances) in zip(representatives, answers):
                         value = float(distances.sum())
-                        states[i].evaluator.prime(mask, value)
+                        # knn_batch is exact; its kth distance is a safe
+                        # bound as-is (short prefixes carry no bound).
+                        kth = float(distances[-1]) if distances.size == k else None
+                        states[i].evaluator.prime(mask, value, kth=kth)
                         states[i].values[mask] = value
                     for i in needers:
                         if mask not in states[i].values:

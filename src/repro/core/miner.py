@@ -82,10 +82,16 @@ def calibrate_threshold(
     mask = full_mask(backend.d)
     full_space_ods = []
     for row in rows:
-        value = outlying_degree(backend, X[row], k, dims, exclude=int(row))
+        _, distances = backend.knn(X[row], k, dims, exclude=int(row))
+        value = float(distances.sum())
         if shared_cache is not None:
+            # The exact kth distance doubles as the entry's safe bound
+            # for delta invalidation on the streaming path.
             shared_cache.put(
-                SharedODCache.point_key(X[row], int(row)), mask, value
+                SharedODCache.point_key(X[row], int(row)),
+                mask,
+                value,
+                kth=float(distances[-1]),
             )
         full_space_ods.append(value)
     return float(np.quantile(full_space_ods, quantile))
@@ -317,6 +323,104 @@ class HOSMiner:
             )
             self._priors = self._learning_report.priors
         return self
+
+    # ------------------------------------------------------------------
+    # Streaming (incremental window updates)
+    # ------------------------------------------------------------------
+    def insert(self, X_new: np.ndarray) -> "HOSMiner":
+        """Insert rows incrementally: in-place index growth, delta cache
+        invalidation, live shard-pool propagation.
+
+        The streaming counterpart of :meth:`extend`: instead of dropping
+        every cached OD and every worker pool, only cache entries whose
+        kNN k-prefix *could* contain an inserted row are evicted
+        (``cache_invalidation="delta"``, see
+        :meth:`~repro.core.od.SharedODCache.delta_insert`), and a live
+        row-shard pool absorbs the rows into its tail segment instead of
+        being torn down. ``T`` and the priors are kept — the threshold is
+        part of the window's query contract (see docs/streaming.md), and
+        priors only steer search order, never answers. Answers after any
+        insert are element-wise identical to a fresh fit on the grown
+        window with the same explicit threshold.
+        """
+        self._require_fitted()
+        X_new = np.ascontiguousarray(np.atleast_2d(np.asarray(X_new, dtype=np.float64)))
+        if X_new.ndim != 2 or X_new.shape[1] != self.d_:
+            raise DataShapeError(
+                f"new rows have shape {X_new.shape}, the miner was fitted on d={self.d_}"
+            )
+        if X_new.shape[0] == 0:
+            return self
+        for row in X_new:
+            self._backend.insert(row)  # type: ignore[union-attr]
+        self._X = np.asarray(self._backend.data)  # type: ignore[union-attr]
+        if self.config.cache_invalidation == "delta":
+            self._od_cache.delta_insert(  # type: ignore[union-attr]
+                X_new, self._X, self._backend.metric  # type: ignore[union-attr]
+            )
+        else:
+            self._od_cache.invalidate()  # type: ignore[union-attr]
+        self._propagate_update(X_new, 0)
+        return self
+
+    def expire(self, n_oldest: int) -> "HOSMiner":
+        """Expire the ``n_oldest`` rows from the window's head.
+
+        Only the windowed backends (``linear``, ``vafile``) support
+        expiry — the trees would need deletion machinery the paper's
+        system never had. Row ids shift down by ``n_oldest`` (window
+        coordinates); cached ODs survive when their kth-distance bound
+        proves no expired row was among their k neighbours, and
+        surviving row-keyed entries are re-keyed to the new coordinates.
+        """
+        self._require_fitted()
+        n_oldest = int(n_oldest)
+        if n_oldest < 1:
+            raise ConfigurationError(f"n_oldest must be >= 1, got {n_oldest}")
+        if not hasattr(self._backend, "expire"):
+            raise ConfigurationError(
+                f"index {self.config.index!r} does not support windowed expiry; "
+                f"use index='linear' or 'vafile' for streaming"
+            )
+        remaining = self._X.shape[0] - n_oldest  # type: ignore[union-attr]
+        if remaining < self.config.k + 1:
+            raise ConfigurationError(
+                f"expiring {n_oldest} rows would leave {remaining} < k+1="
+                f"{self.config.k + 1} rows in the window"
+            )
+        expired = self._backend.expire(n_oldest)  # type: ignore[union-attr]
+        self._X = np.asarray(self._backend.data)  # type: ignore[union-attr]
+        if self.config.cache_invalidation == "delta":
+            self._od_cache.delta_expire(  # type: ignore[union-attr]
+                expired, n_oldest, self._X, self._backend.metric  # type: ignore[union-attr]
+            )
+        else:
+            self._od_cache.invalidate()  # type: ignore[union-attr]
+        self._propagate_update(None, n_oldest)
+        return self
+
+    def _propagate_update(self, rows: "np.ndarray | None", expired: int) -> None:
+        """Push a window update into the live worker pools.
+
+        A live row-shard pool absorbs the update in place
+        (:meth:`~repro.core.shard.ShardPool.apply_update`: tail-segment
+        append + head trim + per-shard resync); when it cannot — the
+        head shard would drain, or the sync ultimately fails — the pool
+        is closed and the next batch respawns it over the new window.
+        Query-split pools hold pickled pre-update miner copies and are
+        always dropped.
+        """
+        pool = self._shard_pool
+        if pool is not None:
+            applied = False
+            if not pool.closed:
+                applied = pool.apply_update(rows, expired)
+            if not applied:
+                pool.close()
+                self._shard_pool = None
+        if self._query_pool is not None:
+            self._query_pool.close()
+            self._query_pool = None
 
     # ------------------------------------------------------------------
     # Queries

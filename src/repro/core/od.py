@@ -46,6 +46,7 @@ __all__ = [
     "GEMM_REVERIFY_RTOL",
     "ODEvaluator",
     "SharedODCache",
+    "kth_bound",
     "near_threshold",
     "outlying_degree",
 ]
@@ -76,6 +77,22 @@ def near_threshold(
     return abs(value - threshold) <= rtol * (abs(value) + abs(threshold) + 1.0)
 
 
+def kth_bound(kth: float, rtol: float) -> float:
+    """Safe upper bound on the true kth-neighbour distance.
+
+    *kth* is the kth-smallest distance as computed by some kernel whose
+    relative error band is *rtol* (0 for the exact float64 kernel, the
+    rigorous rounding band for GEMM/float32 tiers). Inflating by the
+    band makes the bound conservative in the only direction that
+    matters for delta invalidation: a too-large bound can only cause
+    extra eviction, never a wrong retention. Non-finite values get an
+    infinite bound, i.e. the entry is always evicted.
+    """
+    if not np.isfinite(kth):
+        return float("inf")
+    return kth + rtol * (abs(kth) + 1.0)
+
+
 def outlying_degree(
     backend: KnnBackend,
     query: np.ndarray,
@@ -98,19 +115,32 @@ class SharedODCache:
     guaranteed to produce the same OD in every subspace of the current
     fit, so a stored value can be replayed verbatim.
 
-    The cache is owned by the miner and must be :meth:`invalidate`\\ d
-    whenever the indexed dataset changes (``extend``/refit): inserting
-    rows can change any point's neighbour set in any subspace.
+    The cache is owned by the miner and must be kept consistent whenever
+    the indexed dataset changes: ``extend``/refit drop everything via
+    :meth:`invalidate`, while the streaming path uses the delta
+    invalidation of :meth:`delta_insert` / :meth:`delta_expire` — an
+    entry survives a window update only when its cached kth-distance
+    bound *proves* the update cannot have changed its kNN k-prefix, so a
+    retained value is still exactly what a fresh fit on the new window
+    would compute (see docs/streaming.md for the argument).
     """
 
-    __slots__ = ("_values", "hits", "stores")
+    __slots__ = ("_values", "_kth", "hits", "stores", "delta_evicted", "delta_retained")
 
     def __init__(self) -> None:
         self._values: dict[tuple[object, int], float] = {}
+        #: Per-entry safe upper bound on the true kth-neighbour distance
+        #: (:func:`kth_bound`); entries without one are conservatively
+        #: evicted by every delta pass.
+        self._kth: dict[tuple[object, int], float] = {}
         #: Number of lookups served from the cache.
         self.hits = 0
         #: Number of values recorded.
         self.stores = 0
+        #: Entries evicted by delta invalidation (lifetime total).
+        self.delta_evicted = 0
+        #: Entries proven unaffected and kept across window updates.
+        self.delta_retained = 0
 
     @staticmethod
     def point_key(query: np.ndarray, exclude: int | None) -> tuple[str, object]:
@@ -125,14 +155,167 @@ class SharedODCache:
             self.hits += 1
         return value
 
-    def put(self, point_key: tuple[str, object], mask: int, value: float) -> None:
+    def put(
+        self,
+        point_key: tuple[str, object],
+        mask: int,
+        value: float,
+        kth: float | None = None,
+    ) -> None:
+        """Record a value, optionally with its safe kth-distance bound.
+
+        *kth* must come from :func:`kth_bound` (or be exact). A ``None``
+        keeps any previously recorded bound (overwrites always store the
+        same exact value, so an existing bound stays valid); when there
+        is none, the OD value itself steps in: the sum of the k smallest
+        distances is always ``>=`` the kth of them, so ``value`` is a
+        safe — merely loose, by up to a factor of k — upper bound. That
+        keeps entries from kernel paths that never see per-mask kth
+        distances (the fused stacked-GEMM batch kernel) delta-retainable
+        instead of unconditionally evicted.
+        """
         if (point_key, mask) not in self._values:
             self.stores += 1
         self._values[(point_key, mask)] = value
+        if kth is not None:
+            self._kth[(point_key, mask)] = kth
+        elif (point_key, mask) not in self._kth:
+            self._kth[(point_key, mask)] = value
+
+    def kth_of(self, point_key: tuple[str, object], mask: int) -> float | None:
+        """The recorded kth-distance bound for an entry, if any."""
+        return self._kth.get((point_key, mask))
 
     def invalidate(self) -> None:
         """Drop every cached value (dataset changed)."""
         self._values.clear()
+        self._kth.clear()
+
+    # -- delta invalidation ------------------------------------------------
+    def _entry_query(self, point_key: tuple[str, object], data: np.ndarray, shift: int):
+        """Current coordinates of a cached entry's query point.
+
+        Row keys index the *current* window ``data`` after shifting down
+        by *shift* (0 on insert, the expired count on expiry); external
+        keys decode their coordinate bytes. ``None`` means the point
+        cannot be resolved and the entry must be evicted.
+        """
+        kind, ident = point_key
+        if kind == "row":
+            row = ident - shift
+            if not 0 <= row < data.shape[0]:
+                return None
+            return data[row]
+        point = np.frombuffer(ident, dtype=np.float64)
+        if point.shape[0] != data.shape[1]:
+            return None
+        return point
+
+    def delta_insert(self, rows: np.ndarray, data: np.ndarray, metric) -> tuple[int, int]:
+        """Evict only entries an inserted batch could have changed.
+
+        An entry's OD is the sum of the k smallest subspace distances.
+        Inserting rows can only change that sum if some new row lands
+        strictly inside the cached kth-distance bound in the entry's
+        subspace — a new distance ``>=`` the true kth leaves the
+        k-smallest multiset (hence the sum, bit for bit) unchanged. The
+        stored bound over-approximates the true kth, so comparing the
+        inserted rows' subspace distances against it errs only toward
+        eviction. Entries without a bound are evicted.
+
+        *data* is the post-insert window matrix (row keys are unshifted
+        by inserts). Returns ``(evicted, retained)``.
+        """
+        return self._delta_scan(rows, data, metric, shift=0, keep_ties=True)
+
+    def delta_expire(
+        self, expired_rows: np.ndarray, count: int, data: np.ndarray, metric
+    ) -> tuple[int, int]:
+        """Evict entries an expiry could have changed; re-key the rest.
+
+        Entries *for* an expired query row are dropped. For every other
+        entry, removing a row changes the k-smallest multiset only if
+        that row's subspace distance was ``<=`` the true kth distance
+        (it could have been one of the k neighbours, or tied with one);
+        distances strictly above the cached bound prove it was not.
+        Surviving row keys shift down by *count* to the new window
+        coordinates — same point, same subspace, so the value and bound
+        carry over verbatim.
+
+        *data* is the post-expiry window matrix. Returns
+        ``(evicted, retained)``.
+        """
+        return self._delta_scan(
+            expired_rows, data, metric, shift=count, keep_ties=False
+        )
+
+    def _delta_scan(
+        self,
+        batch: np.ndarray,
+        data: np.ndarray,
+        metric,
+        shift: int,
+        keep_ties: bool,
+    ) -> tuple[int, int]:
+        """Shared delta pass: evict entries the batch's rows can reach.
+
+        Entries are grouped by subspace mask so each group's survival
+        test is one broadcasted ``pairwise_many`` call over all its
+        query points and the whole batch at once (``len(batch)``
+        ``pairwise`` calls for metrics without the batched view), not
+        one call per entry — the scan has to be cheaper than the refit
+        it replaces. ``keep_ties`` selects the
+        insert rule (a new distance *equal* to the bound keeps the
+        k-smallest multiset) versus the expire rule (a removed row tied
+        with the kth could have been a neighbour, so ties evict).
+        """
+        if not self._values:
+            return (0, 0)
+        by_mask: dict[int, tuple[list, list, list]] = {}
+        evicted = 0
+        for (point_key, mask), value in self._values.items():
+            kind, ident = point_key
+            if shift and kind == "row" and ident < shift:
+                evicted += 1
+                continue
+            kth = self._kth.get((point_key, mask))
+            query = self._entry_query(point_key, data, shift) if kth is not None else None
+            if query is None:
+                evicted += 1
+                continue
+            keys, queries, bounds = by_mask.setdefault(mask, ([], [], []))
+            keys.append((point_key, value))
+            queries.append(query)
+            bounds.append(kth)
+        survivors: dict[tuple[object, int], float] = {}
+        kths: dict[tuple[object, int], float] = {}
+        batch_arr = np.asarray(batch, dtype=np.float64)
+        many = getattr(metric, "pairwise_many", None)
+        for mask, (keys, queries, bounds) in by_mask.items():
+            dims = np.asarray(dims_of_mask(mask), dtype=np.intp)
+            points = np.asarray(queries)
+            if many is not None:
+                mins = many(batch_arr, points, dims).min(axis=1)
+            else:
+                mins = np.full(len(keys), np.inf)
+                for row in batch_arr:
+                    np.minimum(mins, metric.pairwise(points, row, dims), out=mins)
+            bounds_arr = np.asarray(bounds)
+            kept = mins >= bounds_arr if keep_ties else mins > bounds_arr
+            for j, (point_key, value) in enumerate(keys):
+                if not kept[j]:
+                    evicted += 1
+                    continue
+                kind, ident = point_key
+                if shift and kind == "row":
+                    point_key = ("row", ident - shift)
+                survivors[(point_key, mask)] = value
+                kths[(point_key, mask)] = bounds[j]
+        self._values = survivors
+        self._kth = kths
+        self.delta_evicted += evicted
+        self.delta_retained += len(survivors)
+        return (evicted, len(survivors))
 
     def __len__(self) -> int:
         return len(self._values)
@@ -249,10 +432,10 @@ class ODEvaluator:
         if cached is not None:
             return cached
         dims = dims_of_mask(mask)
-        value = outlying_degree(
-            self.backend, self.query, self.k, dims, exclude=self.exclude
-        )
-        self._store(mask, value)
+        _, distances = self.backend.knn(self.query, self.k, dims, exclude=self.exclude)
+        value = float(distances.sum())
+        # Exact kernel: the kth distance itself is a safe bound.
+        self._store(mask, value, kth=float(distances[-1]))
         self.evaluations += 1
         return value
 
@@ -283,8 +466,8 @@ class ODEvaluator:
                 new_masks.append(mask)
         if not new_masks:
             return values
-        sums_fn = getattr(self.backend, "knn_distance_sums", None)
-        if sums_fn is None:
+        prefix_fn = getattr(self.backend, "knn_distance_prefix", None)
+        if prefix_fn is None:
             # Tree backends: no level kernel, one branch-and-bound kNN
             # per subspace (their per-query descent is inherently serial).
             for mask in new_masks:
@@ -298,7 +481,11 @@ class ODEvaluator:
         if self.precision == "float32":
             kwargs["precision"] = "float32"
             kwargs["components32"] = self._ensure_components32(components)
-        sums = sums_fn(
+        # The prefix kernel rather than the sums kernel: the sums ARE
+        # prefix.sum(axis=1) (documented on both backends), and the last
+        # prefix column is the kth-neighbour distance the delta cache
+        # invalidation needs as a bound — captured here for free.
+        prefixes = prefix_fn(
             self.query,
             self.k,
             dims_arrays,
@@ -307,11 +494,13 @@ class ODEvaluator:
             kernel=self.kernel,
             **kwargs,
         )
+        sums = prefixes.sum(axis=1)
+        kths = prefixes[:, -1].copy()
         if self.kernel == "gemm" and threshold is not None:
             stats = getattr(self.backend, "stats", None)
             for idx in range(len(new_masks)):
                 if near_threshold(float(sums[idx]), threshold, self.reverify_rtol):
-                    sums[idx] = sums_fn(
+                    row = prefix_fn(
                         self.query,
                         self.k,
                         [dims_arrays[idx]],
@@ -319,12 +508,18 @@ class ODEvaluator:
                         components=components,
                         kernel="exact",
                     )[0]
+                    sums[idx] = row.sum()
+                    kths[idx] = row[-1]
                     self.reverifications += 1
                     if stats is not None:
                         stats.bump("reverified_masks")
-        for mask, value in zip(new_masks, sums):
-            value = float(value)
-            self._store(mask, value)
+        # GEMM values carry kernel noise inside the re-verification
+        # band; inflate the recorded kth bound by it so delta retention
+        # decisions are safe at every precision tier.
+        band = self.reverify_rtol if self.kernel == "gemm" else 0.0
+        for idx, mask in enumerate(new_masks):
+            value = float(sums[idx])
+            self._store(mask, value, kth=kth_bound(float(kths[idx]), band))
             self.evaluations += 1
             values[mask] = value
         return values
@@ -375,16 +570,17 @@ class ODEvaluator:
                 return shared
         return None
 
-    def prime(self, mask: int, value: float) -> None:
+    def prime(self, mask: int, value: float, kth: float | None = None) -> None:
         """Record an OD value computed externally on this point's behalf
-        (the batched kNN path); counts as one real evaluation."""
-        self._store(mask, value)
+        (the batched kNN path); counts as one real evaluation. *kth*, if
+        given, must already be a safe bound (:func:`kth_bound`)."""
+        self._store(mask, value, kth=kth)
         self.evaluations += 1
 
-    def _store(self, mask: int, value: float) -> None:
+    def _store(self, mask: int, value: float, kth: float | None = None) -> None:
         self._cache[mask] = value
         if self._shared is not None:
-            self._shared.put(self._point_key, mask, value)
+            self._shared.put(self._point_key, mask, value, kth=kth)
 
     def od_subspace(self, subspace: Subspace) -> float:
         """OD in a :class:`~repro.core.subspace.Subspace` (wrapper API)."""

@@ -239,9 +239,29 @@ def _local_prefixes(
 
 
 def _shard_worker(
-    conn, segment_name: str, n: int, d: int, shard_id: int, gen: int, spec: dict
+    conn,
+    segment_name: str,
+    capacity: int,
+    d: int,
+    start: int,
+    count: int,
+    shard_id: int,
+    gen: int,
+    spec: dict,
 ) -> None:
     """Long-lived shard worker: attach, build the local backend, serve.
+
+    The worker maps its segment at full *capacity* and serves the
+    ``[start, start + count)`` row slice — the coordinator owns the
+    spare capacity and may write fresh rows into it (shared memory makes
+    them visible here immediately), then move the slice with a
+    ``("sync", name, capacity, start, count)`` message. A same-segment
+    sync that only trims the head and/or extends the tail is applied
+    *incrementally* (``backend.expire`` / per-row ``backend.insert`` —
+    already-served rows are never re-indexed); anything else (a regrown
+    segment, a non-windowed backend) rebuilds the local backend over the
+    new slice. Either way the per-query component cache is dropped: its
+    ``(n_s, d)`` matrices baked in the old slice.
 
     Any exception inside a work unit is shipped back as an ``("err",
     exc)`` reply instead of killing the process, so the pool survives
@@ -249,14 +269,17 @@ def _shard_worker(
     ``"ping"`` message is the health probe (answered only once the
     segment attach and backend build have succeeded, which is what
     makes the probe meaningful). The configured fault plan is consulted
-    at the attach/recv/send points — inert unless a spec names this
+    at the attach/recv/send/sync points — inert unless a spec names this
     shard and incarnation.
     """
     plan = FaultPlan.from_spec(spec.get("faults"), shard=shard_id, gen=gen)
     plan.fire("attach")
-    segment, rows = _attach_segment(segment_name, n, d)
+    segment, rows = _attach_segment(segment_name, capacity, d)
     backend = make_backend(
-        spec["index"], rows, metric=spec["metric"], **spec["index_options"]
+        spec["index"],
+        rows[start : start + count],
+        metric=spec["metric"],
+        **spec["index_options"],
     )
     cache: dict = {}
     rounds = 0
@@ -270,6 +293,44 @@ def _shard_worker(
                 break
             if message == "ping":
                 conn.send(("ok", "pong"))
+                continue
+            # A work unit is also a tuple, but leads with the query
+            # array — only a sync message leads with the string tag.
+            if isinstance(message, tuple) and message and isinstance(message[0], str):
+                plan.fire("sync", rounds)
+                try:
+                    _, new_name, new_capacity, new_start, new_count = message
+                    incremental = (
+                        new_name == segment.name
+                        and new_start >= start
+                        and new_start + new_count >= start + count
+                        and hasattr(backend, "expire")
+                    )
+                    if incremental:
+                        for row in range(start + count, new_start + new_count):
+                            backend.insert(rows[row])
+                        if new_start > start:
+                            backend.expire(new_start - start)
+                    else:
+                        if new_name != segment.name:
+                            old_segment = segment
+                            segment, rows = _attach_segment(new_name, new_capacity, d)
+                            try:
+                                old_segment.close()
+                            except BufferError:
+                                pass  # stale views die with the rebuild below
+                        backend = make_backend(
+                            spec["index"],
+                            rows[new_start : new_start + new_count],
+                            metric=spec["metric"],
+                            **spec["index_options"],
+                        )
+                    start, count, capacity = new_start, new_count, new_capacity
+                    cache.clear()
+                    reply = ("ok", "synced")
+                except Exception as exc:
+                    reply = ("err", exc)
+                conn.send(reply)
                 continue
             rounds += 1
             plan.fire("recv", rounds)
@@ -441,11 +502,23 @@ class ShardPool:
         self.workers_requested = workers
         self.n, self.d = X.shape
         self._bounds = shard_bounds(self.n, workers)
+        # Per-shard segment geometry for live window updates: shard s
+        # serves rows [_starts[s], _starts[s] + _counts[s]) of a segment
+        # sized _caps[s] rows. apply_update() writes inserts into the
+        # tail shard's spare capacity, trims the head shard by bumping
+        # its start, and recomputes _bounds (window coordinates).
+        self._starts = [0 for _ in self._bounds]
+        self._counts = [hi - lo for lo, hi in self._bounds]
+        self._caps = [hi - lo for lo, hi in self._bounds]
         self._timeout_s = timeout_s
         self._max_retries = max_retries
         self._backoff_s = backoff_s
         self.round_trips = 0
         self.bytes_shipped = 0
+        #: Live window updates propagated into worker segments.
+        self.syncs = 0
+        #: Tail-shard segments regrown (doubled) to absorb inserts.
+        self.tail_regrows = 0
         #: Dead or hung workers respawned onto their existing segment.
         self.respawns = 0
         #: Respawn-and-replay attempts (each one replays the in-flight
@@ -483,7 +556,10 @@ class ShardPool:
                 parent_conn, child_conn = Pipe()
                 proc = Process(
                     target=_shard_worker,
-                    args=(child_conn, segment.name, hi - lo, self.d, s, 0, spec),
+                    args=(
+                        child_conn, segment.name, hi - lo, self.d, 0, hi - lo,
+                        s, 0, spec,
+                    ),
                     daemon=True,
                 )
                 proc.start()
@@ -577,15 +653,18 @@ class ShardPool:
         """
         self._reap_worker(s)
         self._gen[s] += 1
-        lo, hi = self._bounds[s]
         parent_conn, child_conn = Pipe()
+        # The fresh worker gets the *current* geometry, so respawning is
+        # also how a failed sync converges: no replayed sync needed.
         proc = Process(
             target=_shard_worker,
             args=(
                 child_conn,
                 self._segments[s].name,
-                hi - lo,
+                self._caps[s],
                 self.d,
+                self._starts[s],
+                self._counts[s],
                 s,
                 self._gen[s],
                 self._spec,
@@ -675,10 +754,9 @@ class ShardPool:
         self._require_open()  # the segment view below needs live segments
         entry = self._fallback.get(s)
         if entry is None:
-            lo, hi = self._bounds[s]
             rows = np.ndarray(
-                (hi - lo, self.d), dtype=np.float64, buffer=self._segments[s].buf
-            )
+                (self._caps[s], self.d), dtype=np.float64, buffer=self._segments[s].buf
+            )[self._starts[s] : self._starts[s] + self._counts[s]]
             backend = make_backend(
                 self._spec["index"],
                 rows,
@@ -745,6 +823,155 @@ class ShardPool:
                 notes.append(note)
                 primary.__notes__ = notes
         return primary
+
+    # ------------------------------------------------------------------
+    # Live window updates
+    # ------------------------------------------------------------------
+    def apply_update(self, rows: "np.ndarray | None", expired: int = 0) -> bool:
+        """Propagate a window update into the live shards, in place.
+
+        Inserted *rows* are written by the coordinator into the tail
+        shard's spare segment capacity (shared memory makes them visible
+        to the worker instantly; when the capacity is exhausted the tail
+        segment is regrown with doubled headroom and its worker is moved
+        over by the respawn machinery's sync path). *expired* rows leave
+        by bumping the head shard's start offset. Only the affected
+        shards are then re-synced — middle shards never hear about the
+        update, which is what makes sustained streaming cheap.
+
+        Returns ``False`` — without touching anything — when the update
+        cannot be applied incrementally: an expiry that would drain the
+        head shard entirely. The caller (the miner) closes the pool and
+        lets the next batch respawn it over the re-balanced window; with
+        a steady window this happens once every ~``n/(workers·batch)``
+        pushes, so its cost amortises away.
+
+        A shard whose sync ultimately fails (even across respawn
+        retries) is degraded exactly like a failed scatter — served
+        in-process over the updated geometry — so answers never depend
+        on sync delivery.
+        """
+        self._require_open()
+        if expired < 0:
+            raise ConfigurationError(f"expired must be >= 0, got {expired}")
+        if rows is None:
+            rows = np.empty((0, self.d))
+        rows = np.ascontiguousarray(np.atleast_2d(rows), dtype=np.float64)
+        if rows.size and rows.shape[1] != self.d:
+            raise ConfigurationError(
+                f"update rows have {rows.shape[1]} columns, the pool holds d={self.d}"
+            )
+        fresh = rows.shape[0]
+        if expired and expired >= self._counts[0]:
+            # Draining the head shard would leave an empty worker; the
+            # pool is rebuilt (rebalanced) by the owner instead.
+            return False
+        if not fresh and not expired:
+            return True
+
+        affected: set[int] = set()
+        if fresh:
+            tail = len(self._bounds) - 1
+            start_t, count_t, cap_t = self._starts[tail], self._counts[tail], self._caps[tail]
+            if start_t + count_t + fresh > cap_t:
+                # Regrow: a new segment with doubled headroom, live tail
+                # rows + fresh rows copied once, swapped in place (the
+                # finalizer holds the list, so element assignment keeps
+                # teardown accurate), old segment unlinked.
+                new_cap = 2 * (count_t + fresh)
+                new_segment = shared_memory.SharedMemory(
+                    create=True, size=new_cap * self.d * 8
+                )
+                view = np.ndarray((new_cap, self.d), dtype=np.float64, buffer=new_segment.buf)
+                old_view = np.ndarray(
+                    (cap_t, self.d), dtype=np.float64, buffer=self._segments[tail].buf
+                )
+                view[:count_t] = old_view[start_t : start_t + count_t]
+                view[count_t : count_t + fresh] = rows
+                del view, old_view
+                old_segment = self._segments[tail]
+                self._fallback.pop(tail, None)  # held views into the old segment
+                self._segments[tail] = new_segment
+                self._starts[tail] = 0
+                self._counts[tail] = count_t + fresh
+                self._caps[tail] = new_cap
+                self.tail_regrows += 1
+                try:
+                    old_segment.close()
+                    old_segment.unlink()
+                except Exception:
+                    pass
+            else:
+                view = np.ndarray(
+                    (cap_t, self.d), dtype=np.float64, buffer=self._segments[tail].buf
+                )
+                view[start_t + count_t : start_t + count_t + fresh] = rows
+                del view
+                self._counts[tail] += fresh
+            affected.add(tail)
+        if expired:
+            self._starts[0] += expired
+            self._counts[0] -= expired
+            affected.add(0)
+
+        self.n = sum(self._counts)
+        bounds, lo = [], 0
+        for count in self._counts:
+            bounds.append((lo, lo + count))
+            lo += count
+        self._bounds = bounds
+
+        for s in sorted(affected):
+            self._sync_shard(s)
+        return True
+
+    def _sync_shard(self, s: int) -> None:
+        """Deliver shard *s*'s current geometry to its worker.
+
+        Degraded shards just drop their in-process fallback (rebuilt
+        lazily over the new geometry). A dead-pipe shard is left for the
+        next scatter's respawn path — a respawned worker attaches with
+        the current geometry anyway. A live worker gets the ``sync``
+        message; on any failure (deadline, crash, error reply) the shard
+        goes through the same respawn-with-retries ladder as a failed
+        scatter round, degrading as the last resort.
+        """
+        self.syncs += 1
+        if self._degraded[s]:
+            self._fallback.pop(s, None)
+            return
+        if self._dead[s]:
+            return
+        message = (
+            "sync",
+            self._segments[s].name,
+            self._caps[s],
+            self._starts[s],
+            self._counts[s],
+        )
+        try:
+            self._conns[s].send(message)
+            status, payload = self._recv_reply(s)
+            if (status, payload) == ("ok", "synced"):
+                return
+        except (_ShardFailure, BrokenPipeError, OSError):
+            pass
+        # Respawn-with-retries: a fresh worker attaches straight to the
+        # updated geometry, so no sync replay is needed.
+        delay = self._backoff_s
+        for _ in range(self._max_retries):
+            self._require_open()
+            self.retries += 1
+            if delay > 0:
+                time.sleep(min(delay, BACKOFF_CAP_S))
+                delay *= 2
+            try:
+                self._respawn(s)
+                return
+            except _ShardFailure:
+                continue
+        self._degrade(s)
+        self._fallback.pop(s, None)
 
     # ------------------------------------------------------------------
     def scatter_prefixes(

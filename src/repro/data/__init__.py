@@ -11,7 +11,9 @@ from repro.data.loaders import (
 from repro.data.normalize import MinMaxScaler, ZScoreScaler, minmax, zscore
 from repro.data.synthetic import (
     Dataset,
+    make_burst_stream,
     make_correlated,
+    make_drift_stream,
     make_figure1_data,
     make_gaussian_mixture,
     make_planted_outliers,
@@ -28,7 +30,9 @@ __all__ = [
     "load_athletes",
     "load_csv",
     "load_patients",
+    "make_burst_stream",
     "make_correlated",
+    "make_drift_stream",
     "make_figure1_data",
     "make_gaussian_mixture",
     "make_planted_outliers",

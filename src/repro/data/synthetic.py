@@ -33,6 +33,8 @@ __all__ = [
     "make_correlated",
     "make_planted_outliers",
     "make_figure1_data",
+    "make_drift_stream",
+    "make_burst_stream",
 ]
 
 
@@ -206,6 +208,114 @@ def make_planted_outliers(
         dataset.outlier_rows.append(row)
         dataset.true_subspaces[row] = Subspace.from_dims(tuple(dims), d)
     return dataset
+
+
+def _stream_checks(n_batches: int, batch_size: int, d: int) -> None:
+    _check_shape(batch_size, d)
+    if n_batches < 1:
+        raise ConfigurationError(f"n_batches must be >= 1, got {n_batches}")
+
+
+def make_drift_stream(
+    n_batches: int,
+    batch_size: int,
+    d: int,
+    drift_per_batch: float = 0.2,
+    n_clusters: int = 3,
+    cluster_std: float = 1.0,
+    center_spread: float = 10.0,
+    outlier_every: int = 0,
+    displacement: float = 8.0,
+    seed: int | None = 0,
+) -> list[np.ndarray]:
+    """Concept-drift stream: cluster centres wander between batches.
+
+    Each cluster moves ``drift_per_batch`` (in units of ``cluster_std``)
+    along its own fixed random direction before every batch, so the data
+    distribution a sliding window sees keeps changing — the workload
+    that makes stale cached state *wrong*, hence the stress input of the
+    streaming differential suite and of the E17 benchmark. With
+    ``outlier_every > 0`` the last row of every ``outlier_every``-th
+    batch is displaced along two random dimensions (the planted-outlier
+    scheme of :func:`make_planted_outliers`, without the isolation
+    rejection loop), so queries have something to find.
+
+    Returns a list of ``(batch_size, d)`` matrices, oldest first.
+    """
+    _stream_checks(n_batches, batch_size, d)
+    if drift_per_batch < 0:
+        raise ConfigurationError(
+            f"drift_per_batch must be >= 0, got {drift_per_batch}"
+        )
+    if outlier_every < 0:
+        raise ConfigurationError(
+            f"outlier_every must be >= 0, got {outlier_every}"
+        )
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-center_spread, center_spread, size=(n_clusters, d))
+    velocity = rng.normal(size=(n_clusters, d))
+    norms = np.maximum(np.linalg.norm(velocity, axis=1, keepdims=True), 1e-12)
+    velocity *= drift_per_batch * cluster_std / norms
+    batches: list[np.ndarray] = []
+    for b in range(n_batches):
+        assignment = rng.integers(0, n_clusters, size=batch_size)
+        rows = centers[assignment] + rng.normal(
+            scale=cluster_std, size=(batch_size, d)
+        )
+        if outlier_every and (b + 1) % outlier_every == 0:
+            dims = rng.choice(d, size=min(2, d), replace=False)
+            signs = rng.choice((-1.0, 1.0), size=dims.size)
+            rows[-1, dims] += signs * displacement * cluster_std
+        batches.append(rows)
+        centers = centers + velocity
+    return batches
+
+
+def make_burst_stream(
+    n_batches: int,
+    batch_size: int,
+    d: int,
+    burst_every: int = 4,
+    burst_fraction: float = 0.25,
+    displacement: float = 6.0,
+    n_clusters: int = 3,
+    cluster_std: float = 1.0,
+    center_spread: float = 10.0,
+    seed: int | None = 0,
+) -> list[np.ndarray]:
+    """Bursty stream: calm background punctuated by anomaly bursts.
+
+    The background distribution is stationary (the same Gaussian mixture
+    every batch), but every ``burst_every``-th batch displaces a
+    ``burst_fraction`` of its rows along two random dimensions — a
+    sudden cluster of near-duplicate anomalies, the workload that
+    hammers the delta cache-invalidation path (a burst lands inside many
+    cached kth-distance bounds at once, an expiring burst un-lands them).
+
+    Returns a list of ``(batch_size, d)`` matrices, oldest first.
+    """
+    _stream_checks(n_batches, batch_size, d)
+    if burst_every < 1:
+        raise ConfigurationError(f"burst_every must be >= 1, got {burst_every}")
+    if not 0.0 < burst_fraction <= 1.0:
+        raise ConfigurationError(
+            f"burst_fraction must be in (0, 1], got {burst_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-center_spread, center_spread, size=(n_clusters, d))
+    batches: list[np.ndarray] = []
+    for b in range(n_batches):
+        assignment = rng.integers(0, n_clusters, size=batch_size)
+        rows = centers[assignment] + rng.normal(
+            scale=cluster_std, size=(batch_size, d)
+        )
+        if (b + 1) % burst_every == 0:
+            count = max(1, int(round(burst_fraction * batch_size)))
+            dims = rng.choice(d, size=min(2, d), replace=False)
+            signs = rng.choice((-1.0, 1.0), size=(count, dims.size))
+            rows[:count, dims] += signs * displacement * cluster_std
+        batches.append(rows)
+    return batches
 
 
 def make_figure1_data(

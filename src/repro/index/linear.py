@@ -77,10 +77,14 @@ class LinearScanIndex:
             )
         # The scanned matrix lives in a capacity-doubling buffer so that
         # insert() is amortised O(d) instead of an O(n·d) vstack per
-        # call; _X is always the contiguous first-_n-rows view.
+        # call. Sliding-window expiry only bumps the _lo head offset —
+        # the dead rows are reclaimed when the next growth compacts the
+        # live window to the front — so _X is always the contiguous
+        # [_lo:_n) window view and every kernel below is window-agnostic.
         self._buf = X
+        self._lo = 0
         self._n = X.shape[0]
-        self._X = self._buf[: self._n]
+        self._X = self._buf[self._lo : self._n]
         self.metric = get_metric(metric)
         self.topk_kernel = topk_kernel
         self.stats = IndexStats()
@@ -394,6 +398,41 @@ class LinearScanIndex:
         under :data:`BATCH_CHUNK_BYTES` at the kernel's element size;
         chunking never changes results.
         """
+        # Ascending sum over each sorted prefix row — the exact
+        # accumulation order of the single-query kernel's _topk_sums.
+        return self.knn_distance_prefix_batch(
+            queries,
+            k,
+            dims_list,
+            excludes=excludes,
+            components_list=components_list,
+            kernel=kernel,
+            precision=precision,
+            components32_list=components32_list,
+        ).sum(axis=2)
+
+    def knn_distance_prefix_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        excludes: "Sequence[int | None] | None" = None,
+        components_list: "Sequence[np.ndarray | None] | None" = None,
+        kernel: str = "auto",
+        precision: str = "float64",
+        components32_list: "Sequence[np.ndarray | None] | None" = None,
+    ) -> np.ndarray:
+        """Sorted k-nearest distances per ``(query row, subspace)`` pair,
+        shape ``(q, m, k)``.
+
+        The prefix-grade sibling of :meth:`knn_distance_sums_batch` (the
+        sums ARE ``prefix.sum(axis=2)``) and the batch-fusion point where
+        the streaming delta cache harvests kth-neighbour bounds for
+        free: ``out[..., -1]`` is each pair's kth distance. Kernels,
+        *precision* and query-axis chunking behave exactly as documented
+        there; ``out[i]`` equals ``knn_distance_prefix(queries[i], ...)``
+        under the same kernel.
+        """
         queries = validate_query_matrix(queries, self.d)
         q_count = queries.shape[0]
         excludes = normalize_excludes(excludes, q_count, self.size)
@@ -402,7 +441,7 @@ class LinearScanIndex:
         )
         kernel = resolve_kernel(kernel, self.metric)
         m = len(dims_arrays)
-        out = np.empty((q_count, m))
+        out = np.empty((q_count, m, k))
         if q_count == 0 or m == 0:
             return out
         components_list = (
@@ -411,7 +450,7 @@ class LinearScanIndex:
 
         if kernel == "exact":
             for i in range(q_count):
-                out[i] = self.knn_distance_sums(
+                out[i] = self.knn_distance_prefix(
                     queries[i],
                     k,
                     dims_arrays,
@@ -456,7 +495,7 @@ class LinearScanIndex:
                 block = S[:, (i - start) * n : (i - start + 1) * n]
                 if excludes[i] is not None:
                     block[:, excludes[i]] = np.inf
-                out[i] = self._topk_sums(block, k)
+                out[i] = self._topk_distances(block, k)
         self.stats.bump("gemm_flops", 2 * n * self.d * m * q_count)
         self.stats.bump("gemm_masks", m * q_count)
         self.stats.knn_queries += q_count * m
@@ -536,23 +575,28 @@ class LinearScanIndex:
             running = prefix
         return running
 
-    def _topk_sums(self, S: np.ndarray, k: int) -> np.ndarray:
-        """Reduce an ``(m, n)`` component-sum block to per-row OD sums.
+    def _topk_distances(self, S: np.ndarray, k: int) -> np.ndarray:
+        """Reduce an ``(m, n)`` component-sum block to sorted k-nearest
+        distances, ``(m, k)``.
 
         Selects each row's sorted k-prefix with the configured top-k
         kernel (every kernel returns identical values — see
-        :mod:`repro.index.topk`), finalizes component sums into
+        :mod:`repro.index.topk`) and finalizes component sums into
         distances only for those ``m·k`` entries — the L_p finalizers
         are monotone, so selecting on component sums selects exactly the
-        k nearest — and sums ascending in float64. ``S`` is owned by the
-        caller and may be partitioned in place; row layout (contiguous
-        vs strided view) cannot change the result, which is determined
-        by values alone.
+        k nearest. ``S`` is owned by the caller and may be partitioned in
+        place; row layout (contiguous vs strided view) cannot change the
+        result, which is determined by values alone.
         """
         prefix = topk_prefix(S, k, resolve_topk_kernel(self.topk_kernel, S.dtype))
         if prefix.dtype != np.float64:
             prefix = prefix.astype(np.float64)
-        return self.metric.finalize_component_sums(prefix).sum(axis=1)
+        return self.metric.finalize_component_sums(prefix)
+
+    def _topk_sums(self, S: np.ndarray, k: int) -> np.ndarray:
+        """Per-row OD sums of an ``(m, n)`` component-sum block: the
+        sorted k-prefix distances summed ascending in float64."""
+        return self._topk_distances(S, k).sum(axis=1)
 
     def range_query(
         self,
@@ -585,13 +629,38 @@ class LinearScanIndex:
                 f"point must be a length-{self.d} vector, got shape {point.shape}"
             )
         if self._n == self._buf.shape[0]:
-            grown = np.empty((max(2 * self._n, self._n + 1), self.d))
-            grown[: self._n] = self._buf
+            live = self._n - self._lo
+            grown = np.empty((max(2 * live, live + 1), self.d))
+            grown[:live] = self._buf[self._lo : self._n]
             self._buf = grown
+            self._lo = 0
+            self._n = live
         self._buf[self._n] = point
         self._n += 1
-        self._X = self._buf[: self._n]
+        self._X = self._buf[self._lo : self._n]
         return self.size - 1
+
+    def expire(self, count: int) -> np.ndarray:
+        """Drop the ``count`` oldest rows; returns a copy of them.
+
+        O(1) per call (plus the O(count·d) copy handed back for delta
+        cache invalidation): expiry just advances the window's head
+        offset, and the dead prefix is reclaimed the next time growth
+        compacts the live window to the buffer front. Row ids shift down
+        by ``count`` — window coordinates, matching :attr:`data`.
+        """
+        count = int(count)
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if count >= self.size:
+            raise ConfigurationError(
+                f"cannot expire {count} of {self.size} rows: "
+                "the scanned matrix must stay non-empty"
+            )
+        removed = self._buf[self._lo : self._lo + count].copy()
+        self._lo += count
+        self._X = self._buf[self._lo : self._n]
+        return removed
 
     # -- internals ------------------------------------------------------------
     def _validate(self, query: np.ndarray, dims: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:

@@ -27,9 +27,12 @@ Bounds are metric-aware for every built-in L_p metric (per-dimension
 gaps combined by the metric's own aggregation); custom metrics are
 rejected at construction rather than silently mis-bounded.
 
-Insertions append to the approximation file using the quantisation grid
-frozen at build time; coordinates outside the original data range clamp
-to the edge cells, which only loosens bounds (never correctness).
+Insertions append to the approximation file in place using the
+quantisation grid frozen at build time; coordinates outside the
+original data range clamp to the edge cells, which only loosens bounds
+(never correctness). Sliding-window expiry advances a head offset over
+the same buffers (see :meth:`VAFile.expire`), so the streaming engine
+never rebuilds the file.
 """
 
 from __future__ import annotations
@@ -136,7 +139,15 @@ class VAFile:
         self.cells = 1 << bits
         self.stats = IndexStats()
 
-        self._X = X
+        # Data and approximation files live in parallel capacity-doubling
+        # buffers with a _lo head offset, exactly like the linear scan's:
+        # insert() writes into spare tail capacity, expire() advances the
+        # head, and growth compacts the live window to the front. _X and
+        # _approx are always the [_lo:_n) window views, so every bound /
+        # refinement kernel below is window-agnostic.
+        self._buf = X
+        self._lo = 0
+        self._n = X.shape[0]
         n, d = X.shape
         #: Cell boundaries, shape (d, cells + 1); cell c of dim j spans
         #: [boundaries[j, c], boundaries[j, c + 1]].
@@ -157,9 +168,14 @@ class VAFile:
                     if edges[i] <= edges[i - 1]:
                         edges[i] = edges[i - 1] + 1e-12
                 self.boundaries[dim] = edges
-        self._approx = np.empty((n, d), dtype=np.uint16)
+        self._abuf = np.empty((n, d), dtype=np.uint16)
         for dim in range(d):
-            self._approx[:, dim] = self._quantise(X[:, dim], dim)
+            self._abuf[:, dim] = self._quantise(X[:, dim], dim)
+        self._refresh_views()
+
+    def _refresh_views(self) -> None:
+        self._X = self._buf[self._lo : self._n]
+        self._approx = self._abuf[self._lo : self._n]
 
     # ------------------------------------------------------------------
     # KnnBackend interface
@@ -469,6 +485,31 @@ class VAFile:
             )
         return out
 
+    def knn_distance_prefix_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        dims_list: "Sequence[Sequence[int]]",
+        excludes: "Sequence[int | None] | None" = None,
+        components_list: "Sequence[np.ndarray | None] | None" = None,
+        kernel: str = "auto",
+        precision: str = "float64",
+        components32_list: "Sequence[np.ndarray | None] | None" = None,
+    ) -> np.ndarray:
+        """Sorted k-nearest distances per ``(query row, subspace)`` pair,
+        ``(q, m, k)`` — the prefix-grade sibling of
+        :meth:`knn_distance_sums_batch`, same per-query loop."""
+        del components_list, components32_list  # interface parity
+        queries = validate_query_matrix(queries, self.d)
+        excludes = normalize_excludes(excludes, queries.shape[0], self.size)
+        out = np.empty((queries.shape[0], len(dims_list), k))
+        for i, (query, exclude) in enumerate(zip(queries, excludes)):
+            out[i] = self.knn_distance_prefix(
+                query, k, dims_list, exclude=exclude, kernel=kernel,
+                precision=precision,
+            )
+        return out
+
     def _refine_prefix(
         self, query: np.ndarray, k: int, dims: np.ndarray, candidates: np.ndarray
     ) -> np.ndarray:
@@ -542,21 +583,72 @@ class VAFile:
     def insert(self, point: np.ndarray) -> int:
         """Append a point; returns its row id.
 
-        The quantisation grid is frozen: out-of-range coordinates clamp
-        into the edge cells, which can only loosen that point's bounds.
+        Amortised O(d): the point and its approximation cell are written
+        into spare buffer capacity (both buffers double when full, which
+        also compacts expired head rows away). The *interior* grid
+        boundaries are frozen, but an out-of-range coordinate stretches
+        the outermost edge to cover it: the point lands in an edge cell
+        whose interval genuinely contains it, so its bounds stay valid.
+        Widening an edge cell never invalidates existing codes — points
+        already in that cell remain inside the wider interval, their
+        bounds only loosen, and refinement is exact either way. (Merely
+        *clamping* an outside point into an unstretched edge cell would
+        be wrong: the cell-gap lower bound could exceed the point's true
+        distance and prune it off a k-NN set it belongs to.)
         """
         point = np.asarray(point, dtype=np.float64)
         if point.shape != (self.d,):
             raise DataShapeError(
                 f"point must be a length-{self.d} vector, got shape {point.shape}"
             )
+        for dim in range(self.d):
+            edges = self.boundaries[dim]
+            if point[dim] < edges[0]:
+                edges[0] = point[dim]
+            elif point[dim] > edges[-1]:
+                edges[-1] = point[dim]
         approx = np.array(
             [self._quantise(point[dim : dim + 1], dim)[0] for dim in range(self.d)],
             dtype=np.uint16,
         )
-        self._X = np.vstack([self._X, point[None, :]])
-        self._approx = np.vstack([self._approx, approx[None, :]])
+        if self._n == self._buf.shape[0]:
+            live = self._n - self._lo
+            cap = max(2 * live, live + 1)
+            grown = np.empty((cap, self.d))
+            grown[:live] = self._buf[self._lo : self._n]
+            agrown = np.empty((cap, self.d), dtype=np.uint16)
+            agrown[:live] = self._abuf[self._lo : self._n]
+            self._buf, self._abuf = grown, agrown
+            self._lo = 0
+            self._n = live
+        self._buf[self._n] = point
+        self._abuf[self._n] = approx
+        self._n += 1
+        self._refresh_views()
         return self.size - 1
+
+    def expire(self, count: int) -> np.ndarray:
+        """Drop the ``count`` oldest rows; returns a copy of them.
+
+        O(1) per call (plus the O(count·d) copy handed back for delta
+        cache invalidation): both the data and approximation windows just
+        advance their head offset. The quantisation grid stays frozen —
+        bounds remain valid for any grid and refinement is exact, so
+        answers match a freshly built VA-file element-wise even though
+        candidate-set sizes may differ.
+        """
+        count = int(count)
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if count >= self.size:
+            raise ConfigurationError(
+                f"cannot expire {count} of {self.size} rows: "
+                "the approximation file must stay non-empty"
+            )
+        removed = self._buf[self._lo : self._lo + count].copy()
+        self._lo += count
+        self._refresh_views()
+        return removed
 
     # ------------------------------------------------------------------
     # Internals

@@ -4,8 +4,8 @@ A production coordinator must survive workers that crash, hang or crawl
 — but *testing* that survival needs failures that happen at an exact,
 reproducible point. This module is that scripting layer: a tiny spec
 grammar parsed once at pool construction, and a :class:`FaultPlan` the
-shard workers consult at their three interesting points (shared-memory
-attach, request receipt, reply send). The coordinator never fires
+shard workers consult at their four interesting points (shared-memory
+attach, request receipt, reply send, window sync). The coordinator never fires
 faults itself; it only validates the spec early so a typo fails loudly
 at fit time rather than silently injecting nothing.
 
@@ -39,11 +39,13 @@ fields:
 ``round=<int>``
     Fire on the worker's *N*-th work unit, 1-based, counted per
     process (default: every round). Invalid for ``at=attach``.
-``at=attach|recv|send``
+``at=attach|recv|send|sync``
     The consult point: during shared-memory attach at worker start,
     after receiving a work unit (before computing — from the
     coordinator's view, death *between* its ``send()`` and ``recv()``),
-    or after computing but before replying. Default ``recv``.
+    after computing but before replying, or on receiving a live
+    window-update ``sync`` message (before applying it — the streaming
+    chaos suite's point). Default ``recv``.
 ``gen=<int>|any``
     Which worker incarnation fires: 0 is the originally spawned
     process, 1 the first respawn, and so on. Default ``0`` — the
@@ -79,7 +81,7 @@ __all__ = [
 ]
 
 FAULT_KINDS = ("crash", "hang", "slow")
-FAULT_POINTS = ("attach", "recv", "send")
+FAULT_POINTS = ("attach", "recv", "send", "sync")
 
 #: Exit code of injected crashes — distinctive in worker exitcodes.
 CRASH_EXIT_CODE = 23
@@ -130,7 +132,7 @@ class FaultClause:
 def _clause_error(clause: str, detail: str) -> ConfigurationError:
     return ConfigurationError(
         f"bad fault clause {clause!r}: {detail} — expected "
-        f"'<kind>[:shard=S][:round=R][:at=attach|recv|send][:gen=G|any][:ms=M]' "
+        f"'<kind>[:shard=S][:round=R][:at=attach|recv|send|sync][:gen=G|any][:ms=M]' "
         f"with kind in {FAULT_KINDS}"
     )
 

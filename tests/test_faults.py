@@ -28,7 +28,8 @@ from repro.core.config import HOSMinerConfig
 from repro.core.exceptions import ConfigurationError
 from repro.core.miner import HOSMiner
 from repro.core.shard import ShardPool
-from repro.data.synthetic import make_planted_outliers
+from repro.core.stream import StreamEngine
+from repro.data.synthetic import make_drift_stream, make_planted_outliers
 from repro.testing.faults import (
     CRASH_EXIT_CODE,
     FaultClause,
@@ -537,3 +538,111 @@ class TestSupervisionSurface:
             ShardPool(dataset.X, 2, max_retries=-1)
         with pytest.raises(ConfigurationError, match="backoff_s"):
             ShardPool(dataset.X, 2, backoff_s=-0.5)
+
+
+# ----------------------------------------------------------------------
+# Streaming chaos: faults during incremental window updates
+# ----------------------------------------------------------------------
+class TestStreamChaos:
+    """The chaos face of the differential suite in ``test_stream.py``.
+
+    A live row-shard pool absorbs window updates through per-shard
+    ``sync`` messages; these tests kill, hang, or permanently degrade
+    workers exactly there and require the one thing that matters: after
+    recovery, every answer is still element-wise identical to a fresh
+    fit on the equivalent window with the same explicit threshold.
+    """
+
+    WINDOW = 160
+
+    def drift(self, cycles=3):
+        stream = make_drift_stream(
+            self.WINDOW // 10 + cycles, 10, 5, drift_per_batch=0.4, seed=41
+        )
+        return np.vstack(stream[: self.WINDOW // 10]), stream[self.WINDOW // 10 :]
+
+    def streaming_miner(self, warm, threshold, **overrides):
+        kwargs = dict(
+            k=4,
+            sample_size=4,
+            threshold=threshold,
+            seed=5,
+            stream_window=self.WINDOW,
+            timeout_s=15.0,
+            backoff_s=0.01,
+        )
+        kwargs.update(overrides)
+        return HOSMiner(**kwargs).fit(warm)
+
+    def calibrate(self, warm):
+        with fault_env(None):
+            return float(
+                HOSMiner(k=4, sample_size=4, threshold_quantile=0.9, seed=5)
+                .fit(warm)
+                .threshold_
+            )
+
+    def oracle_answers(self, frame, threshold, targets):
+        with fault_env(None):
+            miner = HOSMiner(k=4, sample_size=4, threshold=threshold, seed=5)
+            return miner.fit(frame).query_batch(targets, workers=1)
+
+    def run_chaos_stream(self, faults, **miner_overrides):
+        """Push a drift stream through a live pool under *faults*; check
+        every post-recovery answer against fresh-fit oracles."""
+        warm, batches = self.drift()
+        threshold = self.calibrate(warm)
+        targets = list(range(8))
+        with fault_env(faults):
+            with self.streaming_miner(warm, threshold, **miner_overrides) as miner:
+                engine = StreamEngine(miner)
+                # Spawn the live pool before any update reaches it.
+                miner.query_batch(targets, workers=2, shard="rows")
+                pool = miner._shard_pool
+                assert pool is not None
+                frame = warm
+                for rows in batches:
+                    engine.push(rows)
+                    frame = np.vstack([frame, rows])[-self.WINDOW :]
+                    batched = miner.query_batch(targets, workers=2, shard="rows")
+                    oracle = self.oracle_answers(frame, threshold, targets)
+                    assert_results_identical(oracle.results, batched.results)
+        return pool, miner
+
+    def test_crash_during_sync_stays_oracle_identical(self):
+        """A worker killed on receipt of a window-update sync is
+        respawned onto the updated geometry; answers never notice."""
+        pool, miner = self.run_chaos_stream("crash:shard=1:at=sync")
+        assert pool.respawns >= 1
+
+    def test_hang_during_sync_stays_oracle_identical(self):
+        """A worker that hangs mid-sync trips the reply deadline and is
+        killed + respawned; answers never notice."""
+        pool, miner = self.run_chaos_stream(
+            "hang:shard=1:at=sync", timeout_s=0.5
+        )
+        assert pool.timeouts >= 1
+        assert pool.respawns >= 1
+
+    def test_degraded_shard_follows_window_updates(self):
+        """A shard degraded before the stream starts keeps serving
+        in-process over every subsequent window update."""
+        pool, miner = self.run_chaos_stream("crash:shard=0:gen=any")
+        assert 0 in pool.degraded_shards
+
+    def test_update_with_no_live_pool_respawns_cleanly(self):
+        """Pushes with no pool (or a closed one) leave nothing stale:
+        the next sharded batch spawns a pool over the current window."""
+        warm, batches = self.drift()
+        threshold = self.calibrate(warm)
+        targets = list(range(8))
+        with fault_env(None):
+            with self.streaming_miner(warm, threshold) as miner:
+                engine = StreamEngine(miner)
+                frame = warm
+                for rows in batches:
+                    engine.push(rows)
+                    frame = np.vstack([frame, rows])[-self.WINDOW :]
+                batched = miner.query_batch(targets, workers=2, shard="rows")
+                oracle = self.oracle_answers(frame, threshold, targets)
+                assert_results_identical(oracle.results, batched.results)
